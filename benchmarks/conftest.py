@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every paper artifact (table/figure) has one benchmark that (a) times the
+experiment via pytest-benchmark and (b) asserts the qualitative shape
+the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The benchmark harness uses the full default trace size; the unit-test
+suite covers the same assertions on a reduced trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Time one full experiment run (no warmup repetition: experiments
+    are end-to-end reproductions, not microbenchmarks)."""
+    return benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+
+
+@pytest.fixture(autouse=True)
+def _print_report(request, capsys):
+    """After each benchmark, emit the experiment's textual report so the
+    bench log doubles as the paper-vs-measured record."""
+    yield

@@ -1,0 +1,53 @@
+"""Benchmarks regenerating Fig. 7 and Tables 2-5 (BLCR calibration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.registry import get_experiment
+
+
+def test_fig7(benchmark):
+    rep = run_once(benchmark, get_experiment("fig7"))
+    print(rep.render())
+    lo, hi = rep.data["local_range"]
+    assert (lo, hi) == pytest.approx((0.016, 0.99))
+    lo, hi = rep.data["nfs_range"]
+    assert (lo, hi) == pytest.approx((0.25, 2.52))
+
+
+def test_table2(benchmark):
+    rep = run_once(benchmark, get_experiment("tab2"))
+    print(rep.render())
+    # Paper: NFS cost climbs from 1.67 s (X=1) to ~9 s (X=5);
+    # local stays flat.
+    nfs = rep.data["nfs"]
+    assert nfs[0] == pytest.approx(1.67, abs=0.15)
+    assert nfs[4] == pytest.approx(8.95, abs=0.9)
+    local = rep.data["local"]
+    assert max(local) - min(local) < 0.01
+
+
+def test_table3(benchmark):
+    rep = run_once(benchmark, get_experiment("tab3"))
+    print(rep.render())
+    stats = rep.data["stats"]
+    # Paper: DM-NFS average cost stays within 2 s at every degree.
+    assert all(stats[x]["avg"] < 2.0 for x in range(1, 6))
+
+
+def test_table4(benchmark):
+    rep = run_once(benchmark, get_experiment("tab4"))
+    print(rep.render())
+    for mem, t in rep.data["paper"].items():
+        assert rep.data["model"][mem] == pytest.approx(t)
+
+
+def test_table5(benchmark):
+    rep = run_once(benchmark, get_experiment("tab5"))
+    print(rep.render())
+    assert rep.data["A"][160.0] == pytest.approx(3.22)
+    assert rep.data["B"][160.0] == pytest.approx(1.45)
+    for mem in rep.data["A"]:
+        assert rep.data["A"][mem] > rep.data["B"][mem]

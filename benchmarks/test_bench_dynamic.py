@@ -1,0 +1,17 @@
+"""Benchmark regenerating Fig. 14 (dynamic vs static adaptation)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments.registry import get_experiment
+
+
+def test_fig14(benchmark):
+    rep = run_once(benchmark, get_experiment("fig14"))
+    print(rep.render())
+    # Paper: dynamic dominates static under mid-run priority changes
+    # (worst WPR ~0.8 vs ~0.5; most jobs tie).
+    assert rep.data["dynamic_avg_wpr"] > rep.data["static_avg_wpr"]
+    assert rep.data["dynamic_worst_wpr"] > rep.data["static_worst_wpr"]
+    assert rep.data["frac_similar"] > 0.4
+    assert rep.data["frac_dynamic_faster_10pct"] > 0.0

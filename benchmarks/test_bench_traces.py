@@ -1,0 +1,51 @@
+"""Benchmarks regenerating Figs. 4/5/8 and Table 7 (trace statistics)."""
+
+from __future__ import annotations
+
+import math
+
+from conftest import run_once
+from repro.experiments.registry import get_experiment
+
+
+def test_fig4(benchmark):
+    rep = run_once(benchmark, get_experiment("fig4"))
+    print(rep.render())
+    med = rep.data["medians"]
+    low = [med[p] for p in range(1, 7) if p in med]
+    high = [med[p] for p in range(7, 13) if p in med]
+    # Paper shape: higher priorities have longer uninterrupted intervals.
+    assert sum(high) / len(high) > sum(low) / len(low)
+
+
+def test_fig5(benchmark):
+    rep = run_once(benchmark, get_experiment("fig5"))
+    print(rep.render())
+    # Paper: Pareto fits the full interval population best; the <=1000 s
+    # body is best fitted by an exponential (lambda ~ 4e-3).
+    assert rep.data["best_all"] == "pareto"
+    assert rep.data["best_short"] == "exponential"
+    assert rep.data["frac_short"] > 0.5
+    assert 1e-4 < rep.data["lambda_short"] < 1e-1
+
+
+def test_fig8(benchmark):
+    rep = run_once(benchmark, get_experiment("fig8"))
+    print(rep.render())
+    mix = rep.data["mix"]
+    # Paper shape: most jobs are short with small memory footprints.
+    assert mix["mem_median"] < 200.0
+    assert mix["len_median"] < 3600.0
+    assert mix["mem_p90"] < 1000.0
+
+
+def test_table7(benchmark):
+    rep = run_once(benchmark, get_experiment("tab7"))
+    print(rep.render())
+    mix = rep.data["mix"]
+    for prio in (1, 2):
+        mnof_cap, mtbf_cap = mix[(prio, 1000.0)]
+        mnof_inf, mtbf_inf = mix[(prio, math.inf)]
+        # The headline asymmetry (paper: MTBF x20-40, MNOF ~stable).
+        assert mtbf_inf / mtbf_cap > 1.5
+        assert 0.5 < mnof_inf / mnof_cap < 2.0

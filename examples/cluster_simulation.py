@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Full cluster simulation: the paper's testbed, end to end.
+
+Runs a trace through the discrete-event cluster model (32 hosts x 7 VMs,
+greedy max-available-memory scheduling, BLCR-priced checkpoints) and
+compares the three storage deployments of §4.2.2 / Tables 2-3:
+
+* per-host local ramdisks (cheap checkpoints, type-A restarts),
+* one shared NFS server (contention grows with parallel checkpoints),
+* DM-NFS (one server per host, random selection — the paper's fix),
+* plus "auto", the per-task §4.2.2 cost comparison.
+
+Run: ``python examples/cluster_simulation.py [n_jobs]``
+"""
+
+import sys
+
+from repro import OptimalCountPolicy
+from repro.cluster import CloudPlatform, ClusterConfig
+from repro.trace.stats import build_estimator
+from repro.trace.synthesizer import TraceConfig, synthesize_trace
+
+
+def main(n_jobs: int = 150) -> None:
+    trace = synthesize_trace(
+        TraceConfig(n_jobs=n_jobs, arrival_rate=0.5), seed=99
+    )
+    est = build_estimator(trace)
+    mnof, mtbf = est.mnof_lookup(), est.mtbf_lookup()
+    print(f"workload: {len(trace)} jobs / {trace.n_tasks} tasks")
+    print(f"cluster: 32 hosts x 7 VMs (1 GB each), policy = Formula (3)\n")
+
+    print(f"  {'storage':>7} {'mean WPR':>9} {'failures':>9} "
+          f"{'ckpt overhead':>14} {'queue wait':>11} {'makespan':>10}")
+    for storage in ("local", "nfs", "dmnfs", "auto"):
+        platform = CloudPlatform(
+            ClusterConfig(storage=storage), seed=7
+        )
+        res = platform.run_trace(trace, OptimalCountPolicy(), mnof, mtbf)
+        tasks = res.task_records
+        n_fail = sum(t.n_failures for t in tasks)
+        ckpt_oh = sum(t.checkpoint_overhead for t in tasks)
+        qwait = sum(t.queue_wait for t in tasks)
+        print(f"  {storage:>7} {res.mean_wpr():9.4f} {n_fail:9d} "
+              f"{ckpt_oh:13.0f}s {qwait:10.0f}s {res.makespan:9.0f}s")
+
+    print("\nper-priority WPR (dmnfs):")
+    res = CloudPlatform(ClusterConfig(storage='dmnfs'), seed=7).run_trace(
+        trace, OptimalCountPolicy(), mnof, mtbf
+    )
+    for prio, jobs in res.by_priority().items():
+        wprs = [j.wpr for j in jobs]
+        print(f"  priority {prio:2d}: {len(jobs):4d} jobs, "
+              f"avg WPR {sum(wprs) / len(wprs):.4f}, "
+              f"min {min(wprs):.4f}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 150)

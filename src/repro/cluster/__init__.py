@@ -1,0 +1,34 @@
+"""Discrete-event cloud-cluster simulator (the paper's testbed stand-in).
+
+Models the Gideon-II deployment of §5.1: physical hosts running VMs
+(placement limited by memory), a greedy max-available-memory scheduler
+with a pending queue, per-task checkpointing on a configurable storage
+target (local ramdisk / NFS / DM-NFS) with congestion pricing, failure
+injection per the priority catalog, and restart-with-migration on
+another VM.
+
+Public surface:
+
+* :class:`~repro.cluster.config.ClusterConfig` — deployment knobs
+  (defaults mirror the paper's 32-host / 224-VM testbed).
+* :class:`~repro.cluster.platform.CloudPlatform` — the façade:
+  ``run_trace(trace, policy, estimates)`` executes a workload and
+  returns per-task/per-job records.
+"""
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.host import PhysicalHost, VirtualMachine
+from repro.cluster.records import JobRecord, PlatformResult, TaskRecord
+from repro.cluster.scheduler import GreedyScheduler
+from repro.cluster.platform import CloudPlatform
+
+__all__ = [
+    "CloudPlatform",
+    "ClusterConfig",
+    "GreedyScheduler",
+    "JobRecord",
+    "PhysicalHost",
+    "PlatformResult",
+    "TaskRecord",
+    "VirtualMachine",
+]

@@ -1,0 +1,78 @@
+"""Cluster deployment configuration.
+
+Defaults mirror the paper's experimental setting (§5.1): 32 physical
+hosts with 16 GB each, 7 VMs per host (224 total) with 1 GB memory and
+1 GB ramdisk, XEN-style memory-bounded placement, and DM-NFS backed by
+one NFS server per host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ClusterConfig"]
+
+_STORAGE_KINDS = ("local", "nfs", "dmnfs", "auto")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Knobs of the simulated deployment.
+
+    ``storage`` selects where checkpoints go: ``"local"`` (per-host
+    ramdisk, migration type A), ``"nfs"`` (one shared server, type B),
+    ``"dmnfs"`` (one server per host, random selection, type B), or
+    ``"auto"`` (per-task §4.2.2 selection between local and DM-NFS).
+    """
+
+    n_hosts: int = 32
+    host_mem_mb: float = 16384.0
+    vms_per_host: int = 7
+    vm_mem_mb: float = 1024.0
+    vm_ramdisk_mb: float = 1024.0
+    storage: str = "dmnfs"
+    #: delay between a failure and its detection by the polling thread
+    failure_detection_delay: float = 1.0
+    #: fixed scheduling overhead when (re)placing a task on a VM
+    placement_overhead: float = 0.5
+    #: safety bound on failures per task before it is abandoned
+    max_failures_per_task: int = 10_000
+    #: mean time between crashes per host, seconds (``None`` = hosts
+    #: never crash).  The paper's BlueGene/L anecdote is a hard failure
+    #: every 7-10 days; §2's liveness threads restart every task of a
+    #: dead host on other hosts from its most recent checkpoint —
+    #: except that checkpoints on the dead host's *local ramdisk* are
+    #: gone, which is the reliability argument for shared disks (§1).
+    host_mtbf: float | None = None
+    #: time a crashed host stays down before rejoining, seconds
+    host_repair_time: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.n_hosts < 1:
+            raise ValueError(f"n_hosts must be >= 1, got {self.n_hosts}")
+        if self.vms_per_host < 1:
+            raise ValueError(f"vms_per_host must be >= 1, got {self.vms_per_host}")
+        if self.vm_mem_mb <= 0 or self.host_mem_mb <= 0:
+            raise ValueError("memory sizes must be positive")
+        if self.vm_mem_mb * self.vms_per_host > self.host_mem_mb:
+            raise ValueError(
+                f"{self.vms_per_host} VMs x {self.vm_mem_mb} MB exceed host "
+                f"memory {self.host_mem_mb} MB"
+            )
+        if self.storage not in _STORAGE_KINDS:
+            raise ValueError(
+                f"storage must be one of {_STORAGE_KINDS}, got {self.storage!r}"
+            )
+        if self.failure_detection_delay < 0 or self.placement_overhead < 0:
+            raise ValueError("delays must be non-negative")
+        if self.host_mtbf is not None and self.host_mtbf <= 0:
+            raise ValueError(f"host_mtbf must be positive, got {self.host_mtbf}")
+        if self.host_repair_time < 0:
+            raise ValueError(
+                f"host_repair_time must be >= 0, got {self.host_repair_time}"
+            )
+
+    @property
+    def n_vms(self) -> int:
+        """Total VM count across the cluster."""
+        return self.n_hosts * self.vms_per_host

@@ -1,0 +1,189 @@
+"""Task execution with checkpointing, failure handling and migration.
+
+One :class:`TaskExecutor` drives one task through the cluster:
+
+1. acquire a VM from the greedy scheduler (queue wait is endogenous);
+2. run equidistant intervals, writing checkpoints on the task's storage
+   target with congestion pricing from the device;
+3. when the failure watchdog fires (uptime drawn from the injector),
+   lose the progress since the last committed checkpoint, release the
+   VM, pay detection + restart (migration) costs, and resume from the
+   checkpoint on a newly acquired VM;
+4. record everything in a :class:`~repro.cluster.records.TaskRecord`.
+
+The interval plan comes from any :class:`~repro.core.policies.
+CheckpointPolicy`, so the DES compares Formula (3) against Young's
+formula under identical placement and contention conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cluster.records import TaskRecord
+from repro.cluster.scheduler import GreedyScheduler
+from repro.core.policies import CheckpointPolicy, TaskProfile
+from repro.sim.engine import Environment, Interrupt, Process
+from repro.storage.blcr import BLCRModel
+from repro.storage.devices import StorageDevice
+from repro.trace.models import Task
+
+__all__ = ["TaskExecutor"]
+
+
+class TaskExecutor:
+    """Runs one task to completion on the simulated cluster.
+
+    Parameters
+    ----------
+    env, scheduler, config:
+        Shared simulation infrastructure.
+    task:
+        The task to execute.
+    policy:
+        Checkpoint policy deciding the interval count.
+    profile:
+        The policy inputs (believed MNOF/MTBF and per-checkpoint cost
+        for the chosen storage target).
+    device_for_vm:
+        Callable mapping the currently held VM to the storage device
+        checkpoints are written to (the local-ramdisk target moves with
+        the task; shared targets are fixed).
+    blcr:
+        Cost model pricing restarts for this task's memory footprint.
+    migration_type:
+        ``"A"`` when checkpoints are local, ``"B"`` when shared.
+    injector:
+        Failure injector (``next_failure_in() -> float``).
+    record:
+        Mutable record collecting the measurements.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        scheduler: GreedyScheduler,
+        config,
+        task: Task,
+        policy: CheckpointPolicy,
+        profile: TaskProfile,
+        device_for_vm: Callable[[object], StorageDevice],
+        blcr: BLCRModel,
+        migration_type: str,
+        injector,
+        record: TaskRecord,
+    ):
+        self.env = env
+        self.scheduler = scheduler
+        self.config = config
+        self.task = task
+        self.policy = policy
+        self.profile = profile
+        self.device_for_vm = device_for_vm
+        self.blcr = blcr
+        self.migration_type = migration_type
+        self.injector = injector
+        self.record = record
+
+    # ------------------------------------------------------------------
+    def _watchdog(self, victim: Process, delay: float):
+        """Interrupt ``victim`` after ``delay`` (cancelled by interrupt)."""
+        try:
+            yield self.env.timeout(delay)
+            victim.interrupt("task-failure")
+        except Interrupt:
+            return
+
+    def run(self):
+        """Generator process executing the task (register with
+        ``env.process``)."""
+        env = self.env
+        cfg = self.config
+        rec = self.record
+        task = self.task
+        rec.submit_time = env.now
+
+        x = self.policy.interval_count(self.profile)
+        length = task.te / x
+        committed = 0  # completed intervals whose checkpoint is durable
+        restart_due = 0.0  # restart cost owed at the next placement
+
+        while committed < x:
+            # -- placement --------------------------------------------------
+            wait_from = env.now
+            vm = yield self.scheduler.acquire(task.task_id, task.mem_mb)
+            vm.current_task_id = task.task_id
+            rec.queue_wait += env.now - wait_from
+            if rec.first_start_time is None:
+                rec.first_start_time = env.now
+            yield env.timeout(cfg.placement_overhead)
+            if restart_due > 0.0:
+                rec.restart_overhead += restart_due
+                yield env.timeout(restart_due)
+                restart_due = 0.0
+
+            # Register for host-failure interrupts only while actually
+            # executing (the try block below catches them).
+            vm.current_process = env.active_process
+            device = self.device_for_vm(vm)
+            uptime = self.injector.next_failure_in()
+            me = env.active_process
+            dog = (
+                env.process(self._watchdog(me, uptime), name=f"dog-{task.task_id}")
+                if uptime != float("inf")
+                else None
+            )
+            last_commit_at = env.now
+
+            try:
+                while committed < x:
+                    if committed == x - 1:
+                        # Final interval: run to completion, no checkpoint.
+                        yield env.timeout(length)
+                        committed = x
+                        break
+                    yield env.timeout(length)
+                    cost, token = device.begin_checkpoint(task.mem_mb)
+                    try:
+                        yield env.timeout(cost)
+                    finally:
+                        device.end_checkpoint(token)
+                    committed += 1
+                    rec.n_checkpoints += 1
+                    rec.checkpoint_overhead += cost
+                    last_commit_at = env.now
+                # Segment completed the task: cancel the watchdog.
+                if dog is not None:
+                    dog.interrupt()
+                self.scheduler.release(vm)
+                rec.finish_time = env.now
+                rec.completed = True
+                rec.storage_target = self.migration_type
+                return rec
+            except Interrupt as itr:
+                # Failure: lose progress since the last committed checkpoint.
+                # Cancel the task-failure watchdog if another source (the
+                # host monitor) interrupted us, so it cannot fire later.
+                if dog is not None and dog.is_alive:
+                    dog.interrupt()
+                rec.n_failures += 1
+                rec.n_migrations += 1
+                rec.rollback_loss += env.now - last_commit_at
+                if itr.cause == "host-failure" and self.migration_type == "A":
+                    # The local ramdisk died with the host: every
+                    # checkpoint is gone and the task restarts from
+                    # scratch (§1's reliability argument for shared disks).
+                    committed = 0
+                self.scheduler.release(vm)
+                if rec.n_failures >= cfg.max_failures_per_task:
+                    rec.finish_time = env.now
+                    rec.completed = False
+                    rec.storage_target = self.migration_type
+                    return rec
+                yield env.timeout(cfg.failure_detection_delay)
+                restart_due = self.blcr.restart_cost(self.migration_type)
+
+        rec.finish_time = env.now
+        rec.completed = True
+        rec.storage_target = self.migration_type
+        return rec

@@ -1,0 +1,92 @@
+"""Physical hosts and virtual machines.
+
+Placement bookkeeping only: a :class:`VirtualMachine` hosts at most one
+task at a time (the paper pins each task to a VM instance with isolated
+resources), and a :class:`PhysicalHost` aggregates its VMs' free memory
+— the quantity the greedy scheduler maximizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.devices import LocalRamdisk
+
+__all__ = ["PhysicalHost", "VirtualMachine"]
+
+
+@dataclass
+class VirtualMachine:
+    """One VM instance: a placement slot with memory and a ramdisk."""
+
+    vm_id: int
+    host: "PhysicalHost"
+    mem_mb: float
+    ramdisk_mb: float
+    busy: bool = False
+    current_task_id: int | None = None
+    #: the executor process currently running here (so the host-failure
+    #: monitor can kill every task on a dying host, §2)
+    current_process: object | None = None
+
+    def fits(self, mem_mb: float) -> bool:
+        """Whether a task with the given footprint fits this VM."""
+        return mem_mb <= self.mem_mb and mem_mb <= self.ramdisk_mb
+
+    def assign(self, task_id: int) -> None:
+        """Mark the VM busy with ``task_id``."""
+        if self.busy:
+            raise RuntimeError(f"VM {self.vm_id} is already busy")
+        self.busy = True
+        self.current_task_id = task_id
+
+    def release(self) -> None:
+        """Free the VM."""
+        if not self.busy:
+            raise RuntimeError(f"VM {self.vm_id} is not busy")
+        self.busy = False
+        self.current_task_id = None
+        self.current_process = None
+
+
+@dataclass
+class PhysicalHost:
+    """A physical node hosting several VMs and one local ramdisk."""
+
+    host_id: int
+    mem_mb: float
+    vms: list[VirtualMachine] = field(default_factory=list)
+    ramdisk: LocalRamdisk = field(default=None)  # type: ignore[assignment]
+    #: liveness flag maintained by the host-failure monitor
+    up: bool = True
+    n_crashes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ramdisk is None:
+            self.ramdisk = LocalRamdisk(self.host_id)
+
+    def add_vm(self, vm_id: int, mem_mb: float, ramdisk_mb: float) -> VirtualMachine:
+        """Attach a new VM to this host."""
+        used = sum(v.mem_mb for v in self.vms)
+        if used + mem_mb > self.mem_mb:
+            raise ValueError(
+                f"host {self.host_id}: adding a {mem_mb} MB VM exceeds "
+                f"{self.mem_mb} MB capacity ({used} MB in use)"
+            )
+        vm = VirtualMachine(vm_id=vm_id, host=self, mem_mb=mem_mb,
+                            ramdisk_mb=ramdisk_mb)
+        self.vms.append(vm)
+        return vm
+
+    @property
+    def available_mem_mb(self) -> float:
+        """Free memory = memory of idle VMs (the scheduler's criterion);
+        a down host offers nothing."""
+        if not self.up:
+            return 0.0
+        return sum(v.mem_mb for v in self.vms if not v.busy)
+
+    @property
+    def n_idle_vms(self) -> int:
+        """Number of idle VMs on this host."""
+        return sum(1 for v in self.vms if not v.busy)

@@ -1,0 +1,105 @@
+"""Greedy VM selection with a FIFO pending queue (§2 / §5.1).
+
+The paper's policy: among hosts with an idle VM that fits the task,
+pick the host with the maximum available memory (load balancing chosen
+"to account for the specular features of Google jobs" — parallelism is
+memory-bound).  Tasks that fit nowhere wait in a FIFO pending queue and
+are granted VMs as releases occur.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.cluster.host import PhysicalHost, VirtualMachine
+from repro.sim.engine import Environment, Event
+
+__all__ = ["GreedyScheduler"]
+
+
+class GreedyScheduler:
+    """Max-available-memory VM scheduler over a fixed host pool."""
+
+    def __init__(self, env: Environment, hosts: list[PhysicalHost]):
+        if not hosts:
+            raise ValueError("scheduler needs at least one host")
+        self.env = env
+        self.hosts = hosts
+        self._pending: deque[tuple[float, Event]] = deque()
+        self.peak_queue_length = 0
+        self.total_grants = 0
+
+    # ------------------------------------------------------------------
+    def _find_vm(self, mem_mb: float) -> VirtualMachine | None:
+        """Idle VM that fits, on the *live* host with maximum available
+        memory."""
+        best: VirtualMachine | None = None
+        best_avail = -1.0
+        for host in self.hosts:
+            if not host.up:
+                continue
+            avail = host.available_mem_mb
+            if avail <= best_avail:
+                continue
+            for vm in host.vms:
+                if not vm.busy and vm.fits(mem_mb):
+                    best = vm
+                    best_avail = avail
+                    break
+        return best
+
+    def acquire(self, task_id: int, mem_mb: float) -> Event:
+        """Request a VM for a task; the event triggers with the VM.
+
+        Grants are immediate when an idle fitting VM exists, otherwise
+        FIFO (skipping over queued requests that still don't fit, so a
+        small task is not head-blocked by a large one — the paper's
+        queue serves "one unprocessed task ... as there are available
+        resources").
+        """
+        if mem_mb <= 0:
+            raise ValueError(f"mem_mb must be positive, got {mem_mb}")
+        ev = Event(self.env)
+        vm = self._find_vm(mem_mb)
+        if vm is not None and not self._pending:
+            vm.assign(task_id)
+            self.total_grants += 1
+            ev.succeed(vm)
+        else:
+            self._pending.append((mem_mb, ev))
+            self.peak_queue_length = max(self.peak_queue_length, len(self._pending))
+            self._drain()
+        return ev
+
+    def release(self, vm: VirtualMachine) -> None:
+        """Return a VM to the pool and serve the queue."""
+        vm.release()
+        self._drain()
+
+    def notify_capacity_change(self) -> None:
+        """Re-run queue service after external capacity changes (a host
+        came back up)."""
+        self._drain()
+
+    def _drain(self) -> None:
+        """Grant queued requests in FIFO order while resources fit."""
+        if not self._pending:
+            return
+        remaining: deque[tuple[float, Event]] = deque()
+        while self._pending:
+            mem_mb, ev = self._pending.popleft()
+            if ev.triggered:  # cancelled
+                continue
+            vm = self._find_vm(mem_mb)
+            if vm is None:
+                remaining.append((mem_mb, ev))
+                continue
+            vm.assign(-1)  # placeholder; executor sets the real id
+            self.total_grants += 1
+            ev.succeed(vm)
+        self._pending = remaining
+
+    @property
+    def queue_length(self) -> int:
+        """Number of tasks waiting for a VM."""
+        return len(self._pending)

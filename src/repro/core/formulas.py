@@ -1,0 +1,159 @@
+"""Closed-form checkpointing formulas (Theorem 1, Eq. 4, baselines).
+
+Conventions (following the paper's §3):
+
+* ``te`` — productive execution time of the task, excluding every
+  fault-tolerance overhead.
+* ``x`` — number of equidistant checkpointing *intervals*; there are
+  ``x - 1`` interior checkpoints, so ``x = 1`` means "never checkpoint".
+* ``c`` — per-checkpoint cost (wall-clock increment per checkpoint).
+* ``r`` — restart cost paid per failure.
+* ``mnof`` — E(Y), the expected number of failures striking the task.
+* ``mtbf`` — mean time between failures (Young's/Daly's input).
+
+All functions accept scalars or NumPy arrays and broadcast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "daly_interval",
+    "expected_failures_exponential",
+    "expected_wallclock",
+    "interval_to_count",
+    "optimal_expected_wallclock",
+    "optimal_interval_count",
+    "optimal_interval_count_int",
+    "young_interval",
+]
+
+
+def _validate_positive(**kwargs: object) -> None:
+    for name, value in kwargs.items():
+        arr = np.asarray(value, dtype=float)
+        if np.any(arr <= 0):
+            raise ValueError(f"{name} must be strictly positive, got {value!r}")
+
+
+def _validate_nonneg(**kwargs: object) -> None:
+    for name, value in kwargs.items():
+        arr = np.asarray(value, dtype=float)
+        if np.any(arr < 0):
+            raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def expected_wallclock(te, x, c, r, mnof):
+    """Expected task wall-clock time under ``x`` equidistant intervals.
+
+    Equation (4) of the paper::
+
+        E(Tw) = Te + C (x - 1) + R E(Y) + Te E(Y) / (2 x)
+
+    The last term is the expected rollback loss: a failure lands
+    uniformly inside an interval of length ``Te / x``, so it wastes
+    ``Te / (2x)`` on average, ``E(Y)`` times.
+    """
+    te = np.asarray(te, dtype=float)
+    x = np.asarray(x, dtype=float)
+    _validate_positive(te=te, x=x)
+    _validate_nonneg(c=c, r=r, mnof=mnof)
+    return te + np.asarray(c) * (x - 1.0) + np.asarray(r) * np.asarray(mnof) \
+        + te * np.asarray(mnof) / (2.0 * x)
+
+
+def optimal_interval_count(te, mnof, c):
+    """Theorem 1: the real-valued optimal number of intervals.
+
+    ``x* = sqrt(Te * E(Y) / (2 C))`` — no assumption on the failure
+    distribution; only the *expected count* of failures enters.
+    """
+    te = np.asarray(te, dtype=float)
+    mnof = np.asarray(mnof, dtype=float)
+    _validate_positive(te=te, c=c)
+    _validate_nonneg(mnof=mnof)
+    return np.sqrt(te * mnof / (2.0 * np.asarray(c, dtype=float)))
+
+
+def optimal_interval_count_int(te, mnof, c, r=0.0):
+    """Integer-feasible Theorem 1 count.
+
+    ``E(Tw)`` is convex in ``x``, so the best integer is either
+    ``floor(x*)`` or ``ceil(x*)`` (both clamped to ≥ 1); we pick the one
+    with the smaller Eq. (4) value.  Vectorized over inputs.
+    """
+    xstar = optimal_interval_count(te, mnof, c)
+    lo = np.maximum(np.floor(xstar), 1.0)
+    hi = np.maximum(np.ceil(xstar), 1.0)
+    ew_lo = expected_wallclock(te, lo, c, r, mnof)
+    ew_hi = expected_wallclock(te, hi, c, r, mnof)
+    best = np.where(ew_lo <= ew_hi, lo, hi).astype(np.int64)
+    if best.ndim == 0:
+        return int(best)
+    return best
+
+
+def optimal_expected_wallclock(te, mnof, c, r=0.0):
+    """Eq. (4) evaluated at the real-valued optimum ``x*``.
+
+    Substituting ``x* = sqrt(Te E(Y) / 2C)`` gives
+    ``E(Tw)* = Te + R E(Y) - C + sqrt(2 C Te E(Y))``.
+    """
+    te = np.asarray(te, dtype=float)
+    mnof = np.asarray(mnof, dtype=float)
+    c_arr = np.asarray(c, dtype=float)
+    _validate_positive(te=te, c=c_arr)
+    _validate_nonneg(mnof=mnof, r=r)
+    return te + np.asarray(r) * mnof - c_arr + np.sqrt(2.0 * c_arr * te * mnof)
+
+
+def young_interval(c, mtbf):
+    """Young's 1974 first-order optimal checkpoint interval.
+
+    ``Tc = sqrt(2 C Tf)`` with ``Tf`` the MTBF — valid under
+    exponential failure intervals and small ``C`` (Corollary 1 shows it
+    is the special case of Theorem 1 with ``E(Y) = Te / Tf``).
+    """
+    _validate_positive(c=c, mtbf=mtbf)
+    return np.sqrt(2.0 * np.asarray(c, dtype=float) * np.asarray(mtbf, dtype=float))
+
+
+def daly_interval(c, mtbf):
+    """Daly's 2006 higher-order optimal checkpoint interval.
+
+    ``Topt = sqrt(2 C M) [1 + (1/3) sqrt(C / 2M) + (1/9)(C / 2M)] - C``
+    for ``C < 2M``, else ``Topt = M``.  Included as an extra baseline
+    from the paper's related-work discussion.
+    """
+    c_arr = np.asarray(c, dtype=float)
+    m = np.asarray(mtbf, dtype=float)
+    _validate_positive(c=c_arr, mtbf=m)
+    ratio = c_arr / (2.0 * m)
+    series = np.sqrt(2.0 * c_arr * m) * (
+        1.0 + np.sqrt(ratio) / 3.0 + ratio / 9.0
+    ) - c_arr
+    out = np.where(c_arr < 2.0 * m, series, m)
+    if out.ndim == 0:
+        return float(out)
+    return out
+
+
+def interval_to_count(te, interval):
+    """Convert a checkpoint interval length into an integer interval
+    count for a task of length ``te`` (how Young's formula is applied to
+    finite cloud tasks): ``x = max(1, round(te / interval))``."""
+    te = np.asarray(te, dtype=float)
+    interval = np.asarray(interval, dtype=float)
+    _validate_positive(te=te, interval=interval)
+    out = np.maximum(np.round(te / interval), 1.0).astype(np.int64)
+    if out.ndim == 0:
+        return int(out)
+    return out
+
+
+def expected_failures_exponential(te, mtbf):
+    """Corollary 1's approximation ``E(Y) ≈ Te / Tf`` for exponential
+    intervals (exact for a Poisson failure process with instant restart)."""
+    _validate_positive(te=te, mtbf=mtbf)
+    return np.asarray(te, dtype=float) / np.asarray(mtbf, dtype=float)

@@ -1,0 +1,145 @@
+"""§4.2.2 — choosing between local-ramdisk and shared-disk checkpoints.
+
+Given a task's length, MNOF and a :class:`~repro.storage.blcr.BLCRModel`
+pricing both targets, the selector compares the expected total
+fault-tolerance cost of each target (the non-``Te`` terms of Eq. (4))::
+
+    cost(target) = C_t (X_t - 1) + R_t E(Y) + Te E(Y) / (2 X_t)
+
+where ``X_t`` is the Theorem 1 optimal count under that target's
+checkpoint cost.  Local ramdisks have cheap checkpoints but expensive
+restarts (migration type A must stage the image through shared disk);
+plain NFS/DM-NFS is the reverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.formulas import optimal_interval_count_int
+from repro.storage.blcr import BLCRModel, MigrationType
+from repro.storage.costmodel import (
+    checkpoint_cost_local,
+    checkpoint_cost_nfs,
+    restart_cost,
+)
+
+__all__ = [
+    "StorageDecision",
+    "expected_total_cost",
+    "select_storage",
+    "select_storage_batch",
+]
+
+
+def expected_total_cost(
+    te: float,
+    mnof: float,
+    checkpoint_cost: float,
+    restart_cost: float,
+    interval_count: int | None = None,
+) -> float:
+    """Expected fault-tolerance overhead (Eq. (4) minus ``Te``).
+
+    If ``interval_count`` is omitted, the Theorem 1 optimum for the
+    given checkpoint cost is used (this is what Algorithm 1 line 1
+    evaluates for each storage target).
+    """
+    if te <= 0:
+        raise ValueError(f"te must be positive, got {te}")
+    if mnof < 0:
+        raise ValueError(f"mnof must be >= 0, got {mnof}")
+    if checkpoint_cost <= 0 or restart_cost < 0:
+        raise ValueError("costs must be positive (checkpoint) / non-negative (restart)")
+    x = (
+        int(interval_count)
+        if interval_count is not None
+        else int(optimal_interval_count_int(te, mnof, checkpoint_cost))
+    )
+    if x < 1:
+        raise ValueError(f"interval count must be >= 1, got {x}")
+    return checkpoint_cost * (x - 1) + restart_cost * mnof + te * mnof / (2.0 * x)
+
+
+@dataclass(frozen=True)
+class StorageDecision:
+    """Outcome of the local-vs-shared comparison for one task."""
+
+    target: MigrationType
+    cost_local: float
+    cost_shared: float
+    intervals_local: int
+    intervals_shared: int
+
+    @property
+    def checkpoint_target_is_local(self) -> bool:
+        """True when the local ramdisk wins (migration type A)."""
+        return self.target is MigrationType.A
+
+    @property
+    def saving(self) -> float:
+        """Expected seconds saved by the chosen target over the other."""
+        return abs(self.cost_local - self.cost_shared)
+
+
+def select_storage(te: float, mnof: float, blcr: BLCRModel) -> StorageDecision:
+    """Pick the cheaper checkpoint target for a task (Algorithm 1, l.1–2).
+
+    Reproduces the paper's worked example: for ``Te=200 s``, 160 MB and
+    ``E(Y)=2``, local costs ≈28.3 s vs shared ≈37.8 s, so the local
+    ramdisk wins.
+    """
+    if te <= 0:
+        raise ValueError(f"te must be positive, got {te}")
+    if mnof < 0:
+        raise ValueError(f"mnof must be >= 0, got {mnof}")
+    xl = int(optimal_interval_count_int(te, mnof, blcr.checkpoint_cost_local))
+    xs = int(optimal_interval_count_int(te, mnof, blcr.checkpoint_cost_shared))
+    cost_l = expected_total_cost(
+        te, mnof, blcr.checkpoint_cost_local, blcr.restart_cost_local, xl
+    )
+    cost_s = expected_total_cost(
+        te, mnof, blcr.checkpoint_cost_shared, blcr.restart_cost_shared, xs
+    )
+    target = MigrationType.A if cost_l < cost_s else MigrationType.B
+    return StorageDecision(
+        target=target,
+        cost_local=cost_l,
+        cost_shared=cost_s,
+        intervals_local=xl,
+        intervals_shared=xs,
+    )
+
+
+def select_storage_batch(
+    te: np.ndarray,
+    mnof: np.ndarray,
+    mem_mb: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized §4.2.2 selection for a batch of tasks.
+
+    Returns ``(local_wins, checkpoint_cost, restart_cost)`` — boolean
+    mask plus the per-task costs of the *chosen* target.  Used by the
+    Monte-Carlo evaluation tier where per-task Python calls would
+    dominate the run time.
+    """
+    te_arr = np.asarray(te, dtype=float)
+    mnof_arr = np.maximum(np.asarray(mnof, dtype=float), 0.0)
+    mem_arr = np.asarray(mem_mb, dtype=float)
+    if np.any(te_arr <= 0) or np.any(mem_arr <= 0):
+        raise ValueError("te and mem_mb must be strictly positive")
+
+    cl = np.asarray(checkpoint_cost_local(mem_arr))
+    cs = np.asarray(checkpoint_cost_nfs(mem_arr))
+    rl = np.asarray(restart_cost(mem_arr, "A"))
+    rs = np.asarray(restart_cost(mem_arr, "B"))
+    xl = np.asarray(optimal_interval_count_int(te_arr, mnof_arr, cl, rl), dtype=float)
+    xs = np.asarray(optimal_interval_count_int(te_arr, mnof_arr, cs, rs), dtype=float)
+    cost_l = cl * (xl - 1) + rl * mnof_arr + te_arr * mnof_arr / (2.0 * xl)
+    cost_s = cs * (xs - 1) + rs * mnof_arr + te_arr * mnof_arr / (2.0 * xs)
+    local_wins = cost_l < cost_s
+    ckpt = np.where(local_wins, cl, cs)
+    rst = np.where(local_wins, rl, rs)
+    return local_wins, ckpt, rst

@@ -1,0 +1,252 @@
+"""Checkpoint policies: task profile → number of equidistant intervals.
+
+A policy encapsulates one of the formulas under comparison in the
+paper's evaluation.  Each policy consumes a :class:`TaskProfile` —
+the task's productive length plus whatever failure statistics the
+deployment *believes* (true values for the Table 6 oracle runs,
+per-priority estimates for the Fig. 9–13 runs) — and returns an integer
+interval count ``x >= 1`` (``x - 1`` checkpoints).
+
+Vectorized variants (``interval_counts``) accept arrays for batch
+evaluation in the Monte-Carlo tier.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.formulas import (
+    daly_interval,
+    interval_to_count,
+    optimal_interval_count_int,
+    young_interval,
+)
+
+__all__ = [
+    "CheckpointPolicy",
+    "DalyPolicy",
+    "FixedCountPolicy",
+    "FixedIntervalPolicy",
+    "NoCheckpointPolicy",
+    "OptimalCountPolicy",
+    "TaskProfile",
+    "YoungPolicy",
+]
+
+
+@dataclass(frozen=True)
+class TaskProfile:
+    """Inputs a checkpoint policy may consult.
+
+    Parameters
+    ----------
+    te:
+        Productive execution time, seconds.
+    checkpoint_cost:
+        Per-checkpoint cost ``C``, seconds.
+    restart_cost:
+        Per-failure restart cost ``R``, seconds.
+    mnof:
+        Believed expected number of failures ``E(Y)`` for this task.
+    mtbf:
+        Believed mean time between failures (Young's/Daly's input).
+    priority:
+        Task priority (carried through for reporting; not used by the
+        formulas themselves).
+    """
+
+    te: float
+    checkpoint_cost: float
+    restart_cost: float = 0.0
+    mnof: float = 0.0
+    mtbf: float = float("inf")
+    priority: int = 1
+
+    def __post_init__(self) -> None:
+        if self.te <= 0:
+            raise ValueError(f"te must be positive, got {self.te}")
+        if self.checkpoint_cost <= 0:
+            raise ValueError(
+                f"checkpoint cost must be positive, got {self.checkpoint_cost}"
+            )
+        if self.restart_cost < 0:
+            raise ValueError(f"restart cost must be >= 0, got {self.restart_cost}")
+        if self.mnof < 0:
+            raise ValueError(f"mnof must be >= 0, got {self.mnof}")
+        if self.mtbf <= 0:
+            raise ValueError(f"mtbf must be positive, got {self.mtbf}")
+
+    def with_remaining(self, remaining_te: float, remaining_mnof: float) -> "TaskProfile":
+        """Profile for the remaining portion of a partially executed task
+        (used by the adaptive runtime after each checkpoint)."""
+        return replace(self, te=remaining_te, mnof=remaining_mnof)
+
+
+class CheckpointPolicy(ABC):
+    """Strategy interface for choosing the interval count."""
+
+    #: short name used in experiment reports
+    name: str = "abstract"
+
+    @abstractmethod
+    def interval_count(self, profile: TaskProfile) -> int:
+        """Number of equidistant intervals (``>= 1``) for one task."""
+
+    def interval_counts(
+        self,
+        te: np.ndarray,
+        checkpoint_cost: np.ndarray,
+        restart_cost: np.ndarray,
+        mnof: np.ndarray,
+        mtbf: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized batch variant; default falls back to a loop."""
+        te, c, r, ny, tf = np.broadcast_arrays(
+            np.asarray(te, float),
+            np.asarray(checkpoint_cost, float),
+            np.asarray(restart_cost, float),
+            np.asarray(mnof, float),
+            np.asarray(mtbf, float),
+        )
+        out = np.empty(te.shape, dtype=np.int64)
+        flat = out.ravel()
+        for i, (t, cc, rr, yy, ff) in enumerate(
+            zip(te.ravel(), c.ravel(), r.ravel(), ny.ravel(), tf.ravel())
+        ):
+            flat[i] = self.interval_count(
+                TaskProfile(te=t, checkpoint_cost=cc, restart_cost=rr,
+                            mnof=yy, mtbf=ff)
+            )
+        return out
+
+    def checkpoint_interval(self, profile: TaskProfile) -> float:
+        """Interval length ``Te / x`` implied by this policy."""
+        return profile.te / self.interval_count(profile)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class OptimalCountPolicy(CheckpointPolicy):
+    """The paper's Formula (3): ``x* = sqrt(Te * E(Y) / (2 C))``.
+
+    Distribution-free; only needs the expected failure count (MNOF).
+    """
+
+    name = "formula3"
+
+    def interval_count(self, profile: TaskProfile) -> int:
+        return int(
+            optimal_interval_count_int(
+                profile.te, profile.mnof, profile.checkpoint_cost,
+                profile.restart_cost,
+            )
+        )
+
+    def interval_counts(self, te, checkpoint_cost, restart_cost, mnof, mtbf):
+        return np.atleast_1d(
+            optimal_interval_count_int(te, mnof, checkpoint_cost, restart_cost)
+        )
+
+
+class YoungPolicy(CheckpointPolicy):
+    """Young's formula ``Tc = sqrt(2 C Tf)`` applied to a finite task:
+    ``x = max(1, round(Te / Tc))``."""
+
+    name = "young"
+
+    def interval_count(self, profile: TaskProfile) -> int:
+        if not np.isfinite(profile.mtbf):
+            return 1
+        tc = float(young_interval(profile.checkpoint_cost, profile.mtbf))
+        return int(interval_to_count(profile.te, tc))
+
+    def interval_counts(self, te, checkpoint_cost, restart_cost, mnof, mtbf):
+        te = np.asarray(te, float)
+        mtbf = np.asarray(mtbf, float)
+        c = np.asarray(checkpoint_cost, float)
+        tc = np.sqrt(2.0 * c * np.where(np.isfinite(mtbf), mtbf, 1.0))
+        counts = np.maximum(np.round(te / tc), 1.0).astype(np.int64)
+        return np.atleast_1d(np.where(np.isfinite(mtbf), counts, 1))
+
+
+class DalyPolicy(CheckpointPolicy):
+    """Daly's higher-order formula, applied like Young's."""
+
+    name = "daly"
+
+    def interval_count(self, profile: TaskProfile) -> int:
+        if not np.isfinite(profile.mtbf):
+            return 1
+        tc = float(daly_interval(profile.checkpoint_cost, profile.mtbf))
+        return int(interval_to_count(profile.te, tc))
+
+    def interval_counts(self, te, checkpoint_cost, restart_cost, mnof, mtbf):
+        te = np.asarray(te, float)
+        mtbf_arr = np.asarray(mtbf, float)
+        c = np.asarray(checkpoint_cost, float)
+        tc = np.asarray(
+            daly_interval(c, np.where(np.isfinite(mtbf_arr), mtbf_arr, 1.0))
+        )
+        tc = np.maximum(tc, 1e-9)
+        counts = np.maximum(np.round(te / tc), 1.0).astype(np.int64)
+        return np.atleast_1d(np.where(np.isfinite(mtbf_arr), counts, 1))
+
+
+class FixedIntervalPolicy(CheckpointPolicy):
+    """Checkpoint every ``interval`` seconds of progress (ablation baseline)."""
+
+    name = "fixed-interval"
+
+    def __init__(self, interval: float):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = float(interval)
+
+    def interval_count(self, profile: TaskProfile) -> int:
+        return int(interval_to_count(profile.te, self.interval))
+
+    def interval_counts(self, te, checkpoint_cost, restart_cost, mnof, mtbf):
+        te = np.asarray(te, float)
+        return np.atleast_1d(
+            np.maximum(np.round(te / self.interval), 1.0).astype(np.int64)
+        )
+
+    def __repr__(self) -> str:
+        return f"FixedIntervalPolicy(interval={self.interval})"
+
+
+class FixedCountPolicy(CheckpointPolicy):
+    """Always use exactly ``count`` intervals (ablation baseline)."""
+
+    name = "fixed-count"
+
+    def __init__(self, count: int):
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self.count = int(count)
+
+    def interval_count(self, profile: TaskProfile) -> int:
+        return self.count
+
+    def interval_counts(self, te, checkpoint_cost, restart_cost, mnof, mtbf):
+        te = np.asarray(te, float)
+        return np.full(np.atleast_1d(te).shape, self.count, dtype=np.int64)
+
+    def __repr__(self) -> str:
+        return f"FixedCountPolicy(count={self.count})"
+
+
+class NoCheckpointPolicy(FixedCountPolicy):
+    """Never checkpoint (``x = 1``); the do-nothing baseline."""
+
+    name = "none"
+
+    def __init__(self) -> None:
+        super().__init__(1)
+
+    def __repr__(self) -> str:
+        return "NoCheckpointPolicy()"

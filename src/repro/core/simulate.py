@@ -1,0 +1,610 @@
+"""Monte-Carlo execution of checkpointed tasks under renewal failures.
+
+This is the fast evaluation tier used for the paper's large-scale
+comparisons (Table 6, Figs. 9–13): hundreds of thousands of tasks are
+simulated in a few vectorized NumPy passes, one loop iteration per
+*uptime segment* (the run between two consecutive failures) across all
+still-active tasks.
+
+Execution model (matching §3 of the paper)
+------------------------------------------
+A task of productive length ``Te`` runs with ``x`` equidistant
+intervals of length ``L = Te / x``; after each of the first ``x - 1``
+intervals a checkpoint costing ``C`` seconds is written.  The failure
+clock measures *uninterrupted execution time* (productive work plus
+checkpoint writes); when it fires, the task loses all progress since
+the last committed checkpoint, pays the restart cost ``R`` (plus an
+optional scheduling delay), and resumes from the checkpoint.  Because
+committed progress is always a multiple of ``L``, each uptime segment
+has the closed form used below:
+
+* time to finish from checkpoint ``m``: ``(x-1-m)(L+C) + L``
+* checkpoints committed in an uptime of ``u``: ``floor(u / (L+C))``
+  (capped at ``x-1-m``).
+
+The scalar reference implementation (:func:`simulate_task`) and the
+vectorized batch (:func:`simulate_tasks`) implement the same model and
+are cross-validated in the test suite; the DES tier adds placement and
+storage contention on top of the identical semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.failures.distributions import Distribution
+
+__all__ = [
+    "SimulationResult",
+    "TaskOutcome",
+    "simulate_task",
+    "simulate_task_two_phase",
+    "simulate_tasks",
+]
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Result of one simulated task execution."""
+
+    te: float
+    wallclock: float
+    n_failures: int
+    n_checkpoints: int
+    intervals: int
+    completed: bool
+
+    @property
+    def wpr(self) -> float:
+        """Workload-processing ratio ``Te / Tw`` (Eq. 9 for one task)."""
+        return self.te / self.wallclock if self.wallclock > 0 else 0.0
+
+
+def simulate_task(
+    te: float,
+    intervals: int,
+    checkpoint_cost: float,
+    restart_cost: float,
+    injector,
+    restart_delay: float = 0.0,
+    max_segments: int = 100_000,
+) -> TaskOutcome:
+    """Scalar reference simulation of a single task.
+
+    ``injector`` must expose ``next_failure_in() -> float`` (see
+    :mod:`repro.failures.injector`); ``inf`` means no further failures.
+    """
+    if te <= 0:
+        raise ValueError(f"te must be positive, got {te}")
+    if intervals < 1:
+        raise ValueError(f"intervals must be >= 1, got {intervals}")
+    if checkpoint_cost < 0 or restart_cost < 0 or restart_delay < 0:
+        raise ValueError("costs and delays must be non-negative")
+    x = int(intervals)
+    length = te / x
+    cycle = length + checkpoint_cost
+    m = 0  # committed checkpoint index
+    wall = 0.0
+    fails = 0
+    for _ in range(max_segments):
+        u = injector.next_failure_in()
+        t_fin = (x - 1 - m) * cycle + length
+        if u >= t_fin:
+            wall += t_fin
+            return TaskOutcome(
+                te=te,
+                wallclock=wall,
+                n_failures=fails,
+                n_checkpoints=x - 1,
+                intervals=x,
+                completed=True,
+            )
+        j = min(int(u // cycle), x - 1 - m)
+        m += j
+        fails += 1
+        wall += u + restart_cost + restart_delay
+    return TaskOutcome(
+        te=te,
+        wallclock=wall,
+        n_failures=fails,
+        n_checkpoints=m,
+        intervals=x,
+        completed=False,
+    )
+
+
+@dataclass
+class SimulationResult:
+    """Batched outcome arrays from :func:`simulate_tasks`.
+
+    All arrays share one entry per task, in input order.
+    """
+
+    te: np.ndarray
+    wallclock: np.ndarray
+    n_failures: np.ndarray
+    intervals: np.ndarray
+    completed: np.ndarray
+
+    @property
+    def wpr(self) -> np.ndarray:
+        """Per-task workload-processing ratio ``Te / Tw``."""
+        out = np.zeros_like(self.wallclock)
+        mask = self.wallclock > 0
+        out[mask] = self.te[mask] / self.wallclock[mask]
+        return out
+
+    @property
+    def n_tasks(self) -> int:
+        """Number of simulated tasks."""
+        return int(self.te.size)
+
+    def mean_wpr(self) -> float:
+        """Average per-task WPR."""
+        return float(np.mean(self.wpr))
+
+
+def simulate_tasks(
+    te: np.ndarray,
+    intervals: np.ndarray,
+    checkpoint_cost: np.ndarray,
+    restart_cost: np.ndarray,
+    dist_ids: np.ndarray,
+    distributions: dict[int, Distribution],
+    rng: np.random.Generator,
+    restart_delay: float = 0.0,
+    max_segments: int = 100_000,
+) -> SimulationResult:
+    """Vectorized Monte-Carlo over a batch of independent tasks.
+
+    Parameters
+    ----------
+    te, intervals, checkpoint_cost, restart_cost:
+        Per-task parameters (broadcast to a common length).
+    dist_ids:
+        Per-task key into ``distributions`` selecting the failure-
+        interval law (typically the task priority).
+    distributions:
+        Mapping id → interval :class:`Distribution`.
+    rng:
+        Randomness source (single stream; draws are grouped by
+        distribution id per segment round, so results are reproducible
+        for a fixed seed and input order).
+    restart_delay:
+        Extra wall-clock charged per failure on top of the restart cost
+        (models scheduling/queueing; the DES measures it endogenously).
+    max_segments:
+        Safety bound on failures per task; tasks exceeding it are
+        reported with ``completed = False``.
+
+    Notes
+    -----
+    The loop runs once per *segment round*: in round ``k`` every task
+    that has survived ``k`` failures draws its next uptime.  Rounds
+    needed equal the maximum failure count over the batch, which the
+    calibrated catalogs keep small (heavy tails produce long quiet
+    intervals), so the run time is a handful of vectorized passes even
+    for 300k tasks.
+    """
+    te_arr, x_arr, c_arr, r_arr, d_arr = np.broadcast_arrays(
+        np.asarray(te, dtype=float),
+        np.asarray(intervals, dtype=np.int64),
+        np.asarray(checkpoint_cost, dtype=float),
+        np.asarray(restart_cost, dtype=float),
+        np.asarray(dist_ids),
+    )
+    te_arr = np.ascontiguousarray(te_arr, dtype=float)
+    x_arr = np.ascontiguousarray(x_arr, dtype=np.int64)
+    c_arr = np.ascontiguousarray(c_arr, dtype=float)
+    r_arr = np.ascontiguousarray(r_arr, dtype=float)
+    if np.any(te_arr <= 0):
+        raise ValueError("all te must be positive")
+    if np.any(x_arr < 1):
+        raise ValueError("all interval counts must be >= 1")
+    if np.any(c_arr < 0) or np.any(r_arr < 0) or restart_delay < 0:
+        raise ValueError("costs and delays must be non-negative")
+    missing = set(np.unique(d_arr).tolist()) - set(distributions)
+    if missing:
+        raise KeyError(f"no distribution registered for ids {sorted(missing)}")
+
+    n = te_arr.size
+    length = te_arr / x_arr
+    cycle = length + c_arr
+    m = np.zeros(n, dtype=np.int64)  # committed checkpoint index
+    wall = np.zeros(n, dtype=float)
+    fails = np.zeros(n, dtype=np.int64)
+    completed = np.zeros(n, dtype=bool)
+    active = np.arange(n)
+
+    # Pre-group task indices by distribution id (stable order).
+    for _ in range(max_segments):
+        if active.size == 0:
+            break
+        u = np.empty(active.size, dtype=float)
+        ids_active = d_arr[active]
+        for did in sorted(distributions, key=repr):
+            sel = np.flatnonzero(ids_active == did)
+            if sel.size:
+                u[sel] = distributions[did].sample(rng, sel.size)
+        rem = x_arr[active] - 1 - m[active]
+        t_fin = rem * cycle[active] + length[active]
+        done = u >= t_fin
+        idx_done = active[done]
+        wall[idx_done] += t_fin[done]
+        completed[idx_done] = True
+        idx_cont = active[~done]
+        if idx_cont.size:
+            u_cont = u[~done]
+            j = np.minimum(
+                (u_cont // cycle[idx_cont]).astype(np.int64), rem[~done]
+            )
+            m[idx_cont] += j
+            fails[idx_cont] += 1
+            wall[idx_cont] += u_cont + r_arr[idx_cont] + restart_delay
+        active = idx_cont
+
+    return SimulationResult(
+        te=te_arr.copy(),
+        wallclock=wall,
+        n_failures=fails,
+        intervals=x_arr.copy(),
+        completed=completed,
+    )
+
+
+def simulate_task_async_checkpoints(
+    te: float,
+    intervals: int,
+    checkpoint_cost: float,
+    restart_cost: float,
+    injector,
+    restart_delay: float = 0.0,
+    max_segments: int = 100_000,
+) -> TaskOutcome:
+    """Scalar simulation with *non-blocking* checkpoint writes.
+
+    Algorithm 1 (line 7) runs each checkpoint in a separate thread so
+    the countdown to the next checkpoint is not blocked; Table 4 shows
+    why (a blocking write costs up to ~7 s).  Under this model the
+    checkpoint write overlaps execution:
+
+    * wall-clock advances only with productive progress (plus restart
+      costs) — the write adds **no** wall-clock of its own;
+    * a checkpoint at position ``p`` only *commits* once the task has
+      run ``checkpoint_cost`` seconds beyond ``p`` uninterrupted; a
+      failure inside that write window voids the checkpoint (rollback
+      goes to the previous committed one).
+
+    Comparing against :func:`simulate_task` quantifies the benefit of
+    the threaded design.
+    """
+    if te <= 0:
+        raise ValueError(f"te must be positive, got {te}")
+    if intervals < 1:
+        raise ValueError(f"intervals must be >= 1, got {intervals}")
+    if checkpoint_cost < 0 or restart_cost < 0 or restart_delay < 0:
+        raise ValueError("costs and delays must be non-negative")
+    x = int(intervals)
+    length = te / x
+    c = checkpoint_cost
+    m = 0  # committed checkpoint index
+    wall = 0.0
+    fails = 0
+    for _ in range(max_segments):
+        u = injector.next_failure_in()
+        start = m * length  # resume point (progress)
+        t_fin = te - start  # no blocking writes: finish needs pure work
+        if u >= t_fin:
+            wall += t_fin
+            return TaskOutcome(
+                te=te,
+                wallclock=wall,
+                n_failures=fails,
+                n_checkpoints=x - 1,
+                intervals=x,
+                completed=True,
+            )
+        # Checkpoint k (position (m+j)*length) commits once the task has
+        # run j*length + c uninterrupted since the resume point.
+        if u > c:
+            j = int((u - c) // length)
+            # position must be an interior one
+            j = min(j, x - 1 - m)
+        else:
+            j = 0
+        m += j
+        fails += 1
+        wall += u + restart_cost + restart_delay
+    return TaskOutcome(
+        te=te,
+        wallclock=wall,
+        n_failures=fails,
+        n_checkpoints=m,
+        intervals=x,
+        completed=False,
+    )
+
+
+def simulate_tasks_replay(
+    te: np.ndarray,
+    intervals: np.ndarray,
+    checkpoint_cost: np.ndarray,
+    restart_cost: np.ndarray,
+    interval_matrix: np.ndarray,
+    restart_delay: float = 0.0,
+) -> SimulationResult:
+    """Vectorized replay of recorded failure intervals (trace-driven).
+
+    ``interval_matrix`` has one row per task; entry ``[i, h]`` is the
+    uninterrupted uptime before task ``i``'s (h+1)-st failure, padded
+    with ``inf`` once the recorded failures are exhausted (the task then
+    runs failure-free, mirroring the paper's ``kill -9`` replay of
+    Google trace events).
+
+    Same execution model as :func:`simulate_tasks`; the only difference
+    is where the uptimes come from, so oracle-prediction experiments
+    (Table 6) can give each policy *exactly* the failures the history
+    recorded.
+    """
+    te_arr, x_arr, c_arr, r_arr = np.broadcast_arrays(
+        np.asarray(te, dtype=float),
+        np.asarray(intervals, dtype=np.int64),
+        np.asarray(checkpoint_cost, dtype=float),
+        np.asarray(restart_cost, dtype=float),
+    )
+    te_arr = np.ascontiguousarray(te_arr, dtype=float)
+    x_arr = np.ascontiguousarray(x_arr, dtype=np.int64)
+    c_arr = np.ascontiguousarray(c_arr, dtype=float)
+    r_arr = np.ascontiguousarray(r_arr, dtype=float)
+    mat = np.asarray(interval_matrix, dtype=float)
+    if mat.ndim != 2 or mat.shape[0] != te_arr.size:
+        raise ValueError(
+            f"interval_matrix must be (n_tasks, max_failures); got {mat.shape} "
+            f"for {te_arr.size} tasks"
+        )
+    if np.any(te_arr <= 0):
+        raise ValueError("all te must be positive")
+    if np.any(x_arr < 1):
+        raise ValueError("all interval counts must be >= 1")
+
+    n = te_arr.size
+    max_rounds = mat.shape[1] + 1
+    length = te_arr / x_arr
+    cycle = length + c_arr
+    m = np.zeros(n, dtype=np.int64)
+    wall = np.zeros(n, dtype=float)
+    fails = np.zeros(n, dtype=np.int64)
+    completed = np.zeros(n, dtype=bool)
+    active = np.arange(n)
+
+    for rnd in range(max_rounds):
+        if active.size == 0:
+            break
+        u = (
+            mat[active, rnd]
+            if rnd < mat.shape[1]
+            else np.full(active.size, np.inf)
+        )
+        rem = x_arr[active] - 1 - m[active]
+        t_fin = rem * cycle[active] + length[active]
+        done = u >= t_fin
+        idx_done = active[done]
+        wall[idx_done] += t_fin[done]
+        completed[idx_done] = True
+        idx_cont = active[~done]
+        if idx_cont.size:
+            u_cont = u[~done]
+            j = np.minimum((u_cont // cycle[idx_cont]).astype(np.int64), rem[~done])
+            m[idx_cont] += j
+            fails[idx_cont] += 1
+            wall[idx_cont] += u_cont + r_arr[idx_cont] + restart_delay
+        active = idx_cont
+
+    # Tasks that drained their record but still run finish failure-free.
+    if active.size:
+        rem = x_arr[active] - 1 - m[active]
+        t_fin = rem * cycle[active] + length[active]
+        wall[active] += t_fin
+        completed[active] = True
+
+    return SimulationResult(
+        te=te_arr.copy(),
+        wallclock=wall,
+        n_failures=fails,
+        intervals=x_arr.copy(),
+        completed=completed,
+    )
+
+
+class _Grid:
+    """Equidistant checkpoint grid anchored at ``anchor``.
+
+    Interior positions sit at ``anchor + k * length`` for
+    ``k = 1 .. count - 1`` (the final interval ends at ``te`` with no
+    trailing checkpoint).  Provides the closed-form uptime arithmetic
+    shared by all scalar simulations.
+    """
+
+    __slots__ = ("anchor", "length", "count", "te", "c")
+
+    def __init__(self, anchor: float, te: float, count: int, c: float):
+        self.anchor = anchor
+        self.te = te
+        self.count = max(1, int(count))
+        self.length = (te - anchor) / self.count
+        self.c = c
+
+    def positions_after(self, live: float) -> int:
+        """Number of interior positions strictly greater than ``live``."""
+        if self.count <= 1:
+            return 0
+        # position index k satisfies anchor + k*length > live, k <= count-1
+        k_min = int(np.floor((live - self.anchor) / self.length + 1e-12)) + 1
+        return max(0, self.count - max(k_min, 1))
+
+    def next_position(self, live: float) -> float | None:
+        """First interior position strictly greater than ``live``."""
+        n = self.positions_after(live)
+        if n == 0:
+            return None
+        k = self.count - n
+        return self.anchor + k * self.length
+
+    def time_to_finish(self, live: float) -> float:
+        """Uninterrupted time from ``live`` to completion, paying ``c``
+        per remaining interior checkpoint."""
+        return (self.te - live) + self.c * self.positions_after(live)
+
+    def time_to_reach(self, live: float, target: float) -> float:
+        """Uninterrupted time from ``live`` to progress ``target``
+        (checkpoints at positions ≤ ``target`` are written en route)."""
+        between = self.positions_after(live) - self.positions_after(target)
+        return (target - live) + self.c * between
+
+    def commits_within(self, live: float, uptime: float) -> tuple[int, float]:
+        """How many checkpoints commit while running ``uptime`` seconds
+        from ``live`` (failure at the end — no completion).
+
+        Returns ``(committed, new_saved)``; ``new_saved`` is only
+        meaningful when ``committed > 0``.
+        """
+        nxt = self.next_position(live)
+        if nxt is None:
+            return 0, live
+        g1 = (nxt - live) + self.c
+        if uptime < g1:
+            return 0, live
+        cyc = self.length + self.c
+        extra = int((uptime - g1) // cyc)
+        committed = min(1 + extra, self.positions_after(live))
+        new_saved = nxt + (committed - 1) * self.length
+        return committed, new_saved
+
+
+def simulate_task_two_phase(
+    te: float,
+    checkpoint_cost: float,
+    restart_cost: float,
+    dist_phase1: Distribution,
+    dist_phase2: Distribution,
+    mnof_phase1: float,
+    mnof_phase2: float,
+    rng: np.random.Generator,
+    switch_fraction: float = 0.5,
+    adaptive: bool = True,
+    restart_delay: float = 0.0,
+    max_segments: int = 100_000,
+) -> TaskOutcome:
+    """Simulate a task whose failure regime changes mid-execution.
+
+    This drives the Fig. 14 experiment: once the task's *live* progress
+    first reaches ``switch_fraction * te``, its priority is retuned —
+    the failure-interval law switches from ``dist_phase1`` to
+    ``dist_phase2`` and the renewal clock resets (the preemption process
+    restarts under the new priority).
+
+    ``adaptive=True`` implements Algorithm 1 lines 9–12: at the switch
+    the runtime takes an immediate checkpoint (anchoring the new grid;
+    one extra ``C`` is charged) and recomputes the interval count from
+    Formula (3) with the new MNOF scaled to the remaining work.
+    ``adaptive=False`` keeps the phase-1 grid for the whole run — the
+    static baseline, whose intervals are mis-sized for the new regime.
+
+    ``mnof_*`` are the *believed* whole-task MNOF values under each
+    regime; failure draws always use the true ``dist_*``.
+    """
+    from repro.core.formulas import optimal_interval_count_int
+
+    if te <= 0:
+        raise ValueError(f"te must be positive, got {te}")
+    if not 0 < switch_fraction < 1:
+        raise ValueError(f"switch_fraction must lie in (0,1), got {switch_fraction}")
+    if checkpoint_cost <= 0:
+        raise ValueError(f"checkpoint cost must be positive, got {checkpoint_cost}")
+
+    switch_at = switch_fraction * te
+    x1 = max(1, int(optimal_interval_count_int(te, mnof_phase1, checkpoint_cost)))
+    grid = _Grid(0.0, te, x1, checkpoint_cost)
+
+    saved = 0.0  # committed progress (rollback target)
+    live = 0.0  # current uncommitted progress
+    wall = 0.0
+    fails = 0
+    ckpts = 0
+    in_phase2 = False
+
+    for _ in range(max_segments):
+        dist = dist_phase2 if in_phase2 else dist_phase1
+        u = float(dist.sample(rng, 1)[0])
+
+        if not in_phase2 and live < switch_at:
+            w_cross = grid.time_to_reach(live, switch_at)
+            t_fin = grid.time_to_finish(live)
+            # Completion before the switch is impossible by construction
+            # (switch_at < te), so only failure-vs-crossing competes.
+            if u < min(w_cross, t_fin):
+                committed, new_saved = grid.commits_within(live, u)
+                if committed:
+                    saved = new_saved
+                    ckpts += committed
+                live = saved
+                wall += u + restart_cost + restart_delay
+                fails += 1
+                continue
+            # Crossed into phase 2 uninterrupted.
+            committed = grid.positions_after(live) - grid.positions_after(switch_at)
+            if committed:
+                saved = grid.next_position(live) + (committed - 1) * grid.length  # type: ignore[operator]
+                ckpts += committed
+            wall += w_cross
+            live = switch_at
+            in_phase2 = True
+            if adaptive:
+                # Immediate checkpoint anchors the recomputed grid.
+                wall += checkpoint_cost
+                ckpts += 1
+                saved = live
+                remaining = te - saved
+                mnof_rem = mnof_phase2 * remaining / te
+                x2 = max(
+                    1,
+                    int(
+                        optimal_interval_count_int(
+                            remaining, mnof_rem, checkpoint_cost
+                        )
+                    ),
+                )
+                grid = _Grid(saved, te, x2, checkpoint_cost)
+            continue
+
+        # Single-regime segment (phase 2, or phase 1 past the switch).
+        t_fin = grid.time_to_finish(live)
+        if u >= t_fin:
+            wall += t_fin
+            ckpts += grid.positions_after(live)
+            return TaskOutcome(
+                te=te,
+                wallclock=wall,
+                n_failures=fails,
+                n_checkpoints=ckpts,
+                intervals=x1,
+                completed=True,
+            )
+        committed, new_saved = grid.commits_within(live, u)
+        if committed:
+            saved = new_saved
+            ckpts += committed
+        live = saved
+        wall += u + restart_cost + restart_delay
+        fails += 1
+
+    return TaskOutcome(
+        te=te,
+        wallclock=wall,
+        n_failures=fails,
+        n_checkpoints=ckpts,
+        intervals=x1,
+        completed=False,
+    )

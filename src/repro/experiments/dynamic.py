@@ -1,0 +1,130 @@
+"""Fig. 14: dynamic (adaptive MNOF) vs static checkpointing.
+
+Each sampled task's priority is changed once in the middle of its
+execution (mirrored across the priority range, so half the tasks move
+to a more failure-prone regime and half to a calmer one).  The dynamic
+algorithm (Algorithm 1, lines 9–12) replans its checkpoint positions
+with the new MNOF; the static baseline keeps the phase-1 plan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.simulate import simulate_task_two_phase
+from repro.experiments.common import default_trace, flatten_trace
+from repro.experiments.registry import ExperimentReport, register
+from repro.experiments.reporting import render_table
+from repro.failures.catalog import google_like_catalog
+from repro.failures.distributions import Exponential
+from repro.metrics.summary import compare_wallclock
+from repro.metrics.wpr import wpr_from_arrays
+from repro.trace.stats import build_estimator
+
+__all__ = ["fig14"]
+
+
+@register("fig14")
+def fig14(
+    n_jobs: int = 1500,
+    seed: int = 2013,
+    switch_fraction: float = 0.5,
+    sim_seed: int = 77,
+) -> ExperimentReport:
+    """Compare the dynamic and static solutions under priority changes.
+
+    Each task's priority is re-drawn once mid-run from the trace's
+    priority mix (excluding its current value), matching the paper's
+    "each job priority is changed once in the middle of its execution".
+    Tasks whose new priority is more failure-prone are where the static
+    plan collapses (its checkpoints are spaced for the calm regime).
+    """
+    # The full trace (not just the failed-job sample): the jobs that were
+    # calm before the switch are exactly where static checkpointing
+    # collapses, and the sample rule would filter many of them out.
+    trace = default_trace(n_jobs, seed, only_failed_jobs=False)
+    flat = flatten_trace(trace)
+    catalog = google_like_catalog()
+    est = build_estimator(trace)
+    mnof_map = est.mnof_lookup()
+
+    # Pre-draw each task's new priority once, shared by both variants.
+    prio_rng = np.random.default_rng((sim_seed, 0xF14))
+    weights = np.ones(12)
+    uniq, cnt = np.unique(flat.priority, return_counts=True)
+    weights[uniq - 1] += cnt  # trace-shaped target mix (add-one smoothed)
+    new_priority = np.empty(flat.n_tasks, dtype=np.int64)
+    for i in range(flat.n_tasks):
+        w = weights.copy()
+        w[flat.priority[i] - 1] = 0.0
+        new_priority[i] = 1 + prio_rng.choice(12, p=w / w.sum())
+
+    results: dict[str, dict[str, np.ndarray]] = {}
+    for label, adaptive in (("dynamic", True), ("static", False)):
+        rng = np.random.default_rng(sim_seed)  # same failures per variant
+        walls = np.empty(flat.n_tasks)
+        for i in range(flat.n_tasks):
+            p1 = int(flat.priority[i])
+            p2 = int(new_priority[i])
+            scale1 = float(flat.interval_scale[i])
+            # The regime change rescales the task's private interval by
+            # the priority base ratio (frailty and length coupling kept).
+            scale2 = scale1 * catalog.base(p2) / catalog.base(p1)
+            mnof1 = mnof_map.get(p1, 0.0)
+            mnof2 = mnof_map.get(p2, mnof1)
+            out = simulate_task_two_phase(
+                te=float(flat.te[i]),
+                checkpoint_cost=1.0,
+                restart_cost=1.0,
+                dist_phase1=Exponential(1.0 / scale1),
+                dist_phase2=Exponential(1.0 / scale2),
+                mnof_phase1=mnof1,
+                mnof_phase2=mnof2,
+                rng=rng,
+                switch_fraction=switch_fraction,
+                adaptive=adaptive,
+            )
+            walls[i] = out.wallclock
+        job_wpr = wpr_from_arrays(flat.te, walls, flat.job_index)
+        wall_sum = np.bincount(flat.job_index, weights=walls,
+                               minlength=flat.n_jobs)
+        wall_max = np.zeros(flat.n_jobs)
+        np.maximum.at(wall_max, flat.job_index, walls)
+        job_wall = np.where(flat.job_is_bot, wall_max, wall_sum)
+        results[label] = {"wpr": job_wpr, "wall": job_wall}
+
+    dyn, sta = results["dynamic"], results["static"]
+    cmp_ = compare_wallclock(dyn["wall"], sta["wall"])
+    similar = float(np.mean(np.abs(cmp_.ratio - 1.0) <= 0.02))
+    faster10 = float(np.mean(cmp_.ratio <= 0.90))
+    rows = [
+        ["dynamic", float(np.mean(dyn["wpr"])), float(np.min(dyn["wpr"]))],
+        ["static", float(np.mean(sta["wpr"])), float(np.min(sta["wpr"]))],
+    ]
+    text = render_table(
+        ["algorithm", "avg WPR", "worst WPR"],
+        rows,
+        title=(
+            "Dynamic vs static under mid-run priority changes; "
+            f"{similar:.0%} of jobs within 2% wall-clock, "
+            f"{faster10:.0%} at least 10% faster under dynamic"
+        ),
+    )
+    return ExperimentReport(
+        exp_id="fig14",
+        title="Comparison between Dynamic Solution and Static Solution",
+        text=text,
+        data={
+            "dynamic_avg_wpr": float(np.mean(dyn["wpr"])),
+            "static_avg_wpr": float(np.mean(sta["wpr"])),
+            "dynamic_worst_wpr": float(np.min(dyn["wpr"])),
+            "static_worst_wpr": float(np.min(sta["wpr"])),
+            "frac_similar": similar,
+            "frac_dynamic_faster_10pct": faster10,
+            "n_jobs": int(flat.n_jobs),
+        },
+        notes=[
+            "paper: worst WPR ≈ 0.8 under the dynamic solution vs ≈ 0.5 "
+            "static; 67% of jobs tie, >21% run ≥10% faster dynamically",
+        ],
+    )

@@ -1,0 +1,291 @@
+"""Policy-comparison experiments: Table 6 and Figs. 9–13.
+
+All of these compare Formula (3) (:class:`OptimalCountPolicy`) against
+Young's formula (:class:`YoungPolicy`) over the shared trace, replaying
+identical failure sequences for both policies.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.policies import OptimalCountPolicy, YoungPolicy
+from repro.experiments.common import default_trace, evaluate_policy
+from repro.experiments.registry import ExperimentReport, register
+from repro.experiments.reporting import render_table
+from repro.metrics.cdf import fraction_above, fraction_below
+from repro.metrics.summary import compare_wallclock, group_min_avg_max
+from repro.trace.sampler import filter_by_length
+
+__all__ = ["fig9", "fig10", "fig11", "fig12", "fig13", "table6"]
+
+
+@register("tab6")
+def table6(n_jobs: int = 4000, seed: int = 2013) -> ExperimentReport:
+    """Table 6: checkpointing effect with *precise* prediction.
+
+    Each task's MNOF/MTBF are its own historical values (oracle); the
+    paper observes both formulas essentially coincide in this regime.
+    """
+    trace = default_trace(n_jobs, seed)
+    runs = {
+        "formula3": evaluate_policy(trace, OptimalCountPolicy(), estimation="oracle"),
+        "young": evaluate_policy(trace, YoungPolicy(), estimation="oracle"),
+    }
+    rows = []
+    data: dict[str, dict[str, float]] = {}
+    for jobs_label, bot in (("BoT", True), ("ST", False), ("Mix", None)):
+        entry: dict[str, float] = {}
+        for name, run in runs.items():
+            wpr = run.job_wpr if bot is None else run.wpr_by_type(bot)
+            entry[f"{name}_avg"] = float(np.mean(wpr))
+            entry[f"{name}_low"] = float(np.min(wpr))
+        data[jobs_label] = entry
+        rows.append(
+            [
+                jobs_label,
+                entry["formula3_avg"],
+                entry["formula3_low"],
+                entry["young_avg"],
+                entry["young_low"],
+            ]
+        )
+    text = render_table(
+        ["jobs", "F(3) avg WPR", "F(3) lowest", "Young avg WPR", "Young lowest"],
+        rows,
+        title="Checkpointing effect with precise prediction",
+    )
+    return ExperimentReport(
+        exp_id="tab6",
+        title="Checkpointing Effect with Precise Prediction",
+        text=text,
+        data=data,
+        notes=[
+            "paper: with exact MNOF/MTBF both formulas nearly coincide "
+            "(avg WPR ≈ 0.94-0.96)",
+        ],
+    )
+
+
+@register("fig9")
+def fig9(n_jobs: int = 4000, seed: int = 2013) -> ExperimentReport:
+    """Fig. 9: WPR CDFs with per-priority estimation, ST vs BoT jobs."""
+    trace = default_trace(n_jobs, seed)
+    f3 = evaluate_policy(trace, OptimalCountPolicy(), estimation="priority")
+    yg = evaluate_policy(trace, YoungPolicy(), estimation="priority")
+    rows = []
+    data: dict[str, float] = {}
+    for label, bot in (("ST", False), ("BoT", True)):
+        w_f3 = f3.wpr_by_type(bot)
+        w_yg = yg.wpr_by_type(bot)
+        rows.append([label, "formula3", float(np.mean(w_f3)),
+                     fraction_below(w_f3, 0.88), fraction_above(w_f3, 0.95)])
+        rows.append([label, "young", float(np.mean(w_yg)),
+                     fraction_below(w_yg, 0.88), fraction_above(w_yg, 0.95)])
+        data[f"{label}_f3_avg"] = float(np.mean(w_f3))
+        data[f"{label}_young_avg"] = float(np.mean(w_yg))
+        data[f"{label}_f3_below088"] = fraction_below(w_f3, 0.88)
+        data[f"{label}_young_below088"] = fraction_below(w_yg, 0.88)
+        data[f"{label}_f3_above095"] = fraction_above(w_f3, 0.95)
+        data[f"{label}_young_above095"] = fraction_above(w_yg, 0.95)
+    text = render_table(
+        ["jobs", "policy", "avg WPR", "P(WPR<0.88)", "P(WPR>0.95)"],
+        rows,
+        title="WPR with priority-estimated MNOF/MTBF",
+    )
+    return ExperimentReport(
+        exp_id="fig9",
+        title="CDF of WPR with Different Checkpoint-Restart Formulas",
+        text=text,
+        data=data,
+        notes=[
+            "paper: formula (3) avg ≈ 0.945 (ST) / 0.955 (BoT) vs Young "
+            "≈ 0.916 / 0.915; Young has ~3x more mass below WPR 0.88",
+        ],
+    )
+
+
+@register("fig10")
+def fig10(n_jobs: int = 4000, seed: int = 2013) -> ExperimentReport:
+    """Fig. 10: min/avg/max WPR per priority, both formulas."""
+    trace = default_trace(n_jobs, seed)
+    f3 = evaluate_policy(trace, OptimalCountPolicy(), estimation="priority")
+    yg = evaluate_policy(trace, YoungPolicy(), estimation="priority")
+    rows = []
+    data: dict[int, dict[str, float]] = {}
+    g_f3 = {g.key: g for g in group_min_avg_max(f3.job_wpr, f3.job_priority)}
+    g_yg = {g.key: g for g in group_min_avg_max(yg.job_wpr, yg.job_priority)}
+    for p in sorted(g_f3):
+        a, b = g_f3[p], g_yg[p]
+        rows.append([p, a.n, a.min, a.avg, a.max, b.min, b.avg, b.max])
+        data[int(p)] = {
+            "f3_avg": a.avg, "young_avg": b.avg,
+            "f3_min": a.min, "young_min": b.min,
+            "n": a.n,
+        }
+    text = render_table(
+        ["priority", "n jobs", "F3 min", "F3 avg", "F3 max",
+         "Yg min", "Yg avg", "Yg max"],
+        rows,
+        title="Min/Avg/Max WPR per priority",
+    )
+    improvements = [
+        d["f3_avg"] - d["young_avg"] for d in data.values() if d["n"] >= 10
+    ]
+    return ExperimentReport(
+        exp_id="fig10",
+        title="Min/Avg/Max WPR with respect to Different Priorities",
+        text=text,
+        data={"per_priority": data, "mean_improvement": float(np.mean(improvements))},
+        notes=[
+            "paper: formula (3) beats Young by 3-10% on average at almost "
+            "every priority",
+        ],
+    )
+
+
+@register("fig11")
+def fig11(
+    n_jobs: int = 4000,
+    seed: int = 2013,
+    restricted_lengths: tuple[float, ...] = (1000.0, 2000.0, 4000.0),
+) -> ExperimentReport:
+    """Fig. 11: WPR distribution for restricted task lengths (RL caps).
+
+    MNOF/MTBF are estimated from correspondingly capped tasks, the
+    paper's best case for Young's formula.
+    """
+    base = default_trace(n_jobs, seed)
+    rows = []
+    data: dict[str, float] = {}
+    for rl in restricted_lengths:
+        trace = filter_by_length(base, rl)
+        if len(trace) == 0:
+            continue
+        f3 = evaluate_policy(
+            trace, OptimalCountPolicy(), estimation="priority", length_cap=rl
+        )
+        yg = evaluate_policy(
+            trace, YoungPolicy(), estimation="priority", length_cap=rl
+        )
+        for name, run in (("formula3", f3), ("young", yg)):
+            above = fraction_above(run.job_wpr, 0.9)
+            rows.append([f"RL={rl:g}", name, len(trace),
+                         float(np.mean(run.job_wpr)), above])
+            data[f"rl{rl:g}_{name}_avg"] = float(np.mean(run.job_wpr))
+            data[f"rl{rl:g}_{name}_above09"] = above
+    text = render_table(
+        ["restriction", "policy", "n jobs", "avg WPR", "P(WPR>0.9)"],
+        rows,
+        title="WPR with restricted task lengths (cap-matched estimation)",
+    )
+    return ExperimentReport(
+        exp_id="fig11",
+        title="Distribution of WPR in the Test over One-day Google Trace",
+        text=text,
+        data=data,
+        notes=[
+            "paper: ~98% of jobs exceed WPR 0.9 under formula (3); up to "
+            "40% fall below 0.9 under Young's formula",
+        ],
+    )
+
+
+@register("fig12")
+def fig12(
+    n_jobs: int = 4000,
+    seed: int = 2013,
+    restricted_lengths: tuple[float, ...] = (1000.0, 4000.0),
+) -> ExperimentReport:
+    """Fig. 12: wall-clock lengths under both formulas (RL caps)."""
+    base = default_trace(n_jobs, seed)
+    rows = []
+    data: dict[str, float] = {}
+    for rl in restricted_lengths:
+        trace = filter_by_length(base, rl)
+        if len(trace) == 0:
+            continue
+        f3 = evaluate_policy(
+            trace, OptimalCountPolicy(), estimation="priority", length_cap=rl
+        )
+        yg = evaluate_policy(
+            trace, YoungPolicy(), estimation="priority", length_cap=rl
+        )
+        mean_delta = float(np.mean(yg.job_wall - f3.job_wall))
+        median_delta = float(np.median(yg.job_wall - f3.job_wall))
+        rows.append([
+            f"RL={rl:g}", len(trace),
+            float(np.mean(f3.job_wall)), float(np.mean(yg.job_wall)),
+            mean_delta, median_delta,
+        ])
+        data[f"rl{rl:g}_mean_f3"] = float(np.mean(f3.job_wall))
+        data[f"rl{rl:g}_mean_young"] = float(np.mean(yg.job_wall))
+        data[f"rl{rl:g}_mean_delta"] = mean_delta
+        data[f"rl{rl:g}_median_delta"] = median_delta
+    text = render_table(
+        ["restriction", "n jobs", "F3 mean Tw (s)", "Young mean Tw (s)",
+         "mean delta (s)", "median delta (s)"],
+        rows,
+        title="Job wall-clock lengths (Young minus formula (3))",
+    )
+    return ExperimentReport(
+        exp_id="fig12",
+        title="Wall-Clock Length in Experiment with One-day Google Trace",
+        text=text,
+        data=data,
+        notes=[
+            "paper: majority of job wall-clocks are 50-100 s longer under "
+            "Young's formula than under formula (3)",
+        ],
+    )
+
+
+@register("fig13")
+def fig13(
+    n_jobs: int = 4000,
+    seed: int = 2013,
+    restricted_length: float = 1000.0,
+) -> ExperimentReport:
+    """Fig. 13: per-job wall-clock ratio, formula (3) vs Young."""
+    base = default_trace(n_jobs, seed)
+    trace = filter_by_length(base, restricted_length)
+    f3 = evaluate_policy(
+        trace, OptimalCountPolicy(), estimation="priority",
+        length_cap=restricted_length,
+    )
+    yg = evaluate_policy(
+        trace, YoungPolicy(), estimation="priority",
+        length_cap=restricted_length,
+    )
+    cmp_ = compare_wallclock(f3.job_wall, yg.job_wall)
+    rows = [
+        ["jobs faster under formula (3)", cmp_.frac_a_faster,
+         cmp_.mean_speedup_when_a_faster],
+        ["jobs faster under Young", cmp_.frac_b_faster,
+         cmp_.mean_slowdown_when_b_faster],
+    ]
+    text = render_table(
+        ["side", "fraction of jobs", "avg relative gap"],
+        rows,
+        title=f"Wall-clock ratio per job (RL={restricted_length:g} s); "
+              f"mean delta {cmp_.mean_delta:+.1f} s",
+    )
+    return ExperimentReport(
+        exp_id="fig13",
+        title="Portions of Jobs using Different Solutions",
+        text=text,
+        data={
+            "frac_f3_faster": cmp_.frac_a_faster,
+            "frac_young_faster": cmp_.frac_b_faster,
+            "mean_speedup": cmp_.mean_speedup_when_a_faster,
+            "mean_slowdown": cmp_.mean_slowdown_when_b_faster,
+            "mean_delta": cmp_.mean_delta,
+            "n_jobs": cmp_.n_jobs,
+        },
+        notes=[
+            "paper: ~70% of jobs run ~15% faster under formula (3); ~30% "
+            "run ~5% slower",
+        ],
+    )

@@ -1,0 +1,89 @@
+"""Plain-text rendering helpers for experiment reports.
+
+Everything an experiment prints goes through these helpers so reports
+stay uniform: fixed-width ASCII tables, inline CDF sparklines, and
+consistent number formatting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = ["fmt", "render_cdf_sparkline", "render_table"]
+
+
+def fmt(value: Any, digits: int = 3) -> str:
+    """Uniform scalar formatting: floats rounded, inf/nan spelled out."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 10_000 or abs(value) < 10 ** (-digits):
+            return f"{value:.{digits}g}"
+        return f"{value:.{digits}f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+    digits: int = 3,
+) -> str:
+    """Fixed-width ASCII table with right-aligned numeric columns."""
+    cells = [[fmt(v, digits) for v in row] for row in rows]
+    cols = [str(h) for h in headers]
+    widths = [len(h) for h in cols]
+    for row in cells:
+        if len(row) != len(cols):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(cols)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(
+        "|" + "|".join(f" {h:<{w}} " for h, w in zip(cols, widths)) + "|"
+    )
+    out.append(sep)
+    for row in cells:
+        out.append(
+            "|" + "|".join(f" {c:>{w}} " for c, w in zip(row, widths)) + "|"
+        )
+    out.append(sep)
+    return "\n".join(out)
+
+
+def render_cdf_sparkline(
+    values,
+    points: Sequence[float] | None = None,
+    width: int = 10,
+    label: str = "",
+) -> str:
+    """One-line textual CDF: value of the ECDF at ``width`` quantile
+    probes (or explicit ``points``), e.g. for eyeballing Fig. 9-style
+    comparisons in a terminal."""
+    arr = np.sort(np.asarray(values, dtype=float).ravel())
+    if arr.size == 0:
+        raise ValueError("need at least one value")
+    if points is None:
+        lo, hi = arr[0], arr[-1]
+        points = list(np.linspace(lo, hi, width))
+    probes = np.asarray(points, dtype=float)
+    cdf = np.searchsorted(arr, probes, side="right") / arr.size
+    body = " ".join(
+        f"{p:.3g}:{c:.2f}" for p, c in zip(probes, cdf)
+    )
+    prefix = f"{label}: " if label else ""
+    return f"{prefix}{body}"

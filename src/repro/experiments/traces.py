@@ -1,0 +1,183 @@
+"""Trace-characterization experiments: Figs. 4, 5, 8 and Table 7."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.experiments.common import default_trace
+from repro.experiments.registry import ExperimentReport, register
+from repro.experiments.reporting import render_table
+from repro.failures.fitting import fit_all
+from repro.metrics.cdf import quantile
+from repro.trace.stats import (
+    all_intervals,
+    interval_cdf_by_priority,
+    job_length_cdf,
+    job_memory_cdf,
+    mnof_mtbf_table,
+)
+
+__all__ = ["fig4", "fig5", "fig8", "table7"]
+
+
+@register("fig4")
+def fig4(n_jobs: int = 4000, seed: int = 2013) -> ExperimentReport:
+    """Fig. 4: CDF of uninterrupted task intervals per priority.
+
+    Reports the median and 90th percentile interval per priority; the
+    paper's shape is a monotone increase with priority (low-priority
+    tasks are preempted by high-priority ones).
+    """
+    trace = default_trace(n_jobs, seed, only_failed_jobs=False)
+    cdfs = interval_cdf_by_priority(trace)
+    rows = []
+    medians: dict[int, float] = {}
+    for p, (xs, _ys) in cdfs.items():
+        med = quantile(xs, 0.5)
+        p90 = quantile(xs, 0.9)
+        medians[p] = med
+        rows.append([p, xs.size, med, p90, float(xs.max())])
+    text = render_table(
+        ["priority", "n intervals", "median (s)", "p90 (s)", "max (s)"],
+        rows,
+        title="Uninterrupted task interval distribution by priority",
+    )
+    return ExperimentReport(
+        exp_id="fig4",
+        title="Distribution of Task Failure Intervals According to Priorities",
+        text=text,
+        data={"medians": medians, "cdfs": {p: xs for p, (xs, _ys) in cdfs.items()}},
+        notes=[
+            "paper shape: higher priorities exhibit longer uninterrupted "
+            "intervals (days for priorities 7-12, sub-day for 1-6)",
+        ],
+    )
+
+
+@register("fig5")
+def fig5(n_jobs: int = 4000, seed: int = 2013) -> ExperimentReport:
+    """Fig. 5: MLE fits of the pooled failure-interval population.
+
+    (a) all intervals — Pareto should fit best (heavy tail);
+    (b) intervals below 1000 s — Exponential should be competitive
+    (the paper fits λ=0.00423445 there).
+    """
+    trace = default_trace(n_jobs, seed, only_failed_jobs=False)
+    ivs = all_intervals(trace)
+    short = ivs[ivs <= 1000.0]
+
+    fits_all_pop = fit_all(ivs)
+    fits_short = fit_all(short)
+    rows = []
+    for res in fits_all_pop:
+        rows.append(["all", res.family, res.ks, res.aic])
+    for res in fits_short:
+        rows.append(["<=1000s", res.family, res.ks, res.aic])
+    text = render_table(
+        ["population", "family", "KS", "AIC"],
+        rows,
+        title="Distribution fitting of failure intervals (MLE, ranked by KS)",
+    )
+    lam_short = None
+    for res in fits_short:
+        if res.family == "exponential" and res.ok:
+            lam_short = res.dist.params["lam"]
+    return ExperimentReport(
+        exp_id="fig5",
+        title="Overall Distribution of Task Failure Intervals and MLE Fitting",
+        text=text,
+        data={
+            "best_all": fits_all_pop[0].family,
+            "best_short": fits_short[0].family,
+            "ranking_all": [r.family for r in fits_all_pop],
+            "ranking_short": [r.family for r in fits_short],
+            "lambda_short": lam_short,
+            "frac_short": float(np.mean(ivs <= 1000.0)),
+            "n_intervals": int(ivs.size),
+        },
+        notes=[
+            "paper: Pareto fits the full population best; a majority of "
+            "intervals are below 1000 s where an exponential "
+            "(λ≈0.0042) is the best fit",
+        ],
+    )
+
+
+@register("fig8")
+def fig8(n_jobs: int = 4000, seed: int = 2013) -> ExperimentReport:
+    """Fig. 8: CDFs of job memory size and execution length."""
+    trace = default_trace(n_jobs, seed, only_failed_jobs=False)
+    mem = job_memory_cdf(trace)
+    length = job_length_cdf(trace)
+    rows = []
+    data: dict[str, dict[str, float]] = {}
+    for group in ("ST", "BOT", "mix"):
+        mxs, _ = mem[group]
+        lxs, _ = length[group]
+        entry = {
+            "mem_median": quantile(mxs, 0.5),
+            "mem_p90": quantile(mxs, 0.9),
+            "len_median": quantile(lxs, 0.5),
+            "len_p90": quantile(lxs, 0.9),
+        }
+        data[group] = entry
+        rows.append(
+            [group, len(mxs)] + [entry[k] for k in
+                                 ("mem_median", "mem_p90", "len_median", "len_p90")]
+        )
+    text = render_table(
+        ["jobs", "n", "mem med (MB)", "mem p90 (MB)", "len med (s)", "len p90 (s)"],
+        rows,
+        title="Job memory size and execution length distributions",
+    )
+    return ExperimentReport(
+        exp_id="fig8",
+        title="Distribution of Google Jobs: Memory Size and Execution Length",
+        text=text,
+        data=data,
+        notes=[
+            "paper shape: most jobs are short with small memory footprints; "
+            "memory sizes reach ~1000 MB, lengths reach hours",
+        ],
+    )
+
+
+@register("tab7")
+def table7(
+    n_jobs: int = 4000,
+    seed: int = 2013,
+    priorities: tuple[int, ...] = (1, 2, 7, 10),
+) -> ExperimentReport:
+    """Table 7: MNOF & MTBF per priority under task-length caps."""
+    trace = default_trace(n_jobs, seed)
+    tables = mnof_mtbf_table(
+        trace, length_caps=(1000.0, 3600.0, math.inf), priorities=priorities
+    )
+    rows = []
+    data: dict[str, dict[tuple[int, float], tuple[float, float]]] = {}
+    for group, stats in tables.items():
+        data[group] = {}
+        for st in stats:
+            cap = "inf" if math.isinf(st.length_cap) else f"{st.length_cap:g}"
+            rows.append(
+                [group, cap, st.priority, st.n_tasks, st.mnof, st.mtbf]
+            )
+            data[group][(st.priority, st.length_cap)] = (st.mnof, st.mtbf)
+    text = render_table(
+        ["jobs", "len cap (s)", "priority", "n tasks", "MNOF", "MTBF (s)"],
+        rows,
+        title="MNOF & MTBF w.r.t. priority and task-length cap",
+    )
+    return ExperimentReport(
+        exp_id="tab7",
+        title="MNOF & MTBF w.r.t. Job Priority",
+        text=text,
+        data=data,
+        notes=[
+            "paper mechanism: removing the length cap inflates MTBF by an "
+            "order of magnitude (heavy-tailed intervals of long tasks) "
+            "while MNOF stays within a small factor",
+        ],
+    )

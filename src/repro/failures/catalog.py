@@ -1,0 +1,177 @@
+"""Per-priority failure model calibrated to the paper's trace statistics.
+
+Google tasks carry a priority in 1..12; the paper's characterization
+constrains the model three ways:
+
+* **Fig. 4** — uninterrupted intervals grow strongly with priority
+  (low-priority tasks are preempted by high-priority ones).
+* **Fig. 5** — the *pooled* interval population is Pareto-like overall
+  with an exponential body below ~1000 s.
+* **Table 7** — per priority, the sample MTBF explodes when long tasks
+  enter the estimation window (×20–40) while MNOF stays within a small
+  factor.  This asymmetry is the paper's headline mechanism: Young's
+  formula inherits the MTBF blow-up, Formula (3) does not.
+
+A plain renewal model cannot satisfy the third constraint (failure
+counts would scale linearly with task length, inflating MNOF just as
+much as MTBF).  What does satisfy all three is a *frailty* model with
+survivorship coupling, which is also what the trace exhibits —
+multi-day service tasks simply could not exist if they were preempted
+every few minutes:
+
+* each task draws a private mean interval ("scale")
+  ``scale = base(p) * frailty * (te / ref_length) ** length_coupling``
+  where ``frailty`` is a mean-one lognormal and ``base(p)`` grows
+  geometrically with priority;
+* the task's intervals are then i.i.d. exponential with that scale.
+
+With ``length_coupling = 1`` the per-task failure count is independent
+of task length (MNOF per priority is stable, Table 7 left columns),
+while the few long tasks record enormous intervals that dominate the
+pooled per-priority mean (MTBF blow-up, Table 7 right columns).  The
+pooled population is a lognormal-by-length mixture of exponentials —
+heavy-tailed, Pareto-fitting, exponential-bodied (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.failures.distributions import Distribution, Exponential, Mixture, Pareto
+
+__all__ = [
+    "PriorityFailureModel",
+    "google_like_catalog",
+    "BASE_MEAN",
+    "BASE_GROWTH",
+    "FRAILTY_SIGMA",
+    "LENGTH_COUPLING",
+    "REF_LENGTH",
+    "PRIORITIES",
+]
+
+#: Google priorities run 1..12 (12 = most privileged).
+PRIORITIES: tuple[int, ...] = tuple(range(1, 13))
+
+#: Base mean interval at priority 1 for a reference-length task, seconds.
+#: The paper's fitted body rate for ≤1000 s intervals is λ=0.00423445
+#: (mean ≈236 s); our base sits in the same regime.
+BASE_MEAN: float = 260.0
+#: Geometric growth of the base mean per priority level (Fig. 4 spread;
+#: priority 12 sits ~170x above priority 1, matching the paper's
+#: sub-day-to-a-month interval spread).
+BASE_GROWTH: float = 1.6
+#: Sigma of the mean-one lognormal per-task frailty.
+FRAILTY_SIGMA: float = 1.0
+#: Survivorship coupling: per-task interval scale ∝ (te/ref)^coupling.
+LENGTH_COUPLING: float = 1.0
+#: Reference task length for the coupling, seconds.
+REF_LENGTH: float = 300.0
+
+
+@dataclass
+class PriorityFailureModel:
+    """Per-priority frailty failure model (see module docstring).
+
+    ``pooled(priority)`` exposes a population-level distribution (an
+    exponential-body + Pareto-tail mixture matched to the frailty
+    parameters) for consumers that need a task-independent law, e.g.
+    Fig. 4 curve generation or DES injection for tasks without a
+    recorded scale.
+    """
+
+    base_mean: float = BASE_MEAN
+    base_growth: float = BASE_GROWTH
+    frailty_sigma: float = FRAILTY_SIGMA
+    length_coupling: float = LENGTH_COUPLING
+    ref_length: float = REF_LENGTH
+    priorities: tuple[int, ...] = PRIORITIES
+    _pooled_cache: dict[int, Distribution] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.base_mean <= 0 or self.base_growth <= 0 or self.ref_length <= 0:
+            raise ValueError("base_mean, base_growth, ref_length must be positive")
+        if self.frailty_sigma < 0 or self.length_coupling < 0:
+            raise ValueError("frailty_sigma and length_coupling must be >= 0")
+        if not self.priorities:
+            raise ValueError("catalog must cover at least one priority")
+
+    # ------------------------------------------------------------------
+    def _check_priority(self, priority: int) -> None:
+        if priority not in self.priorities:
+            raise KeyError(
+                f"priority {priority} not in catalog {self.priorities}"
+            )
+
+    def base(self, priority: int) -> float:
+        """Base mean interval of ``priority`` at the reference length."""
+        self._check_priority(priority)
+        return self.base_mean * self.base_growth ** (priority - 1)
+
+    def sample_task_scale(
+        self, priority: int, te: float, rng: np.random.Generator
+    ) -> float:
+        """Draw one task's private mean failure interval, seconds."""
+        if te <= 0:
+            raise ValueError(f"te must be positive, got {te}")
+        frailty = float(
+            rng.lognormal(-0.5 * self.frailty_sigma**2, self.frailty_sigma)
+        )
+        return (
+            self.base(priority)
+            * frailty
+            * (te / self.ref_length) ** self.length_coupling
+        )
+
+    def expected_mnof(self, priority: int, te: float = REF_LENGTH) -> float:
+        """Analytic E(Y) for a task: ``te / scale`` averaged over frailty
+        (``E[1/frailty] = exp(sigma^2)`` for the mean-one lognormal)."""
+        if te <= 0:
+            raise ValueError(f"te must be positive, got {te}")
+        mean_inv_frailty = float(np.exp(self.frailty_sigma**2))
+        scale0 = self.base(priority) * (te / self.ref_length) ** self.length_coupling
+        return te / scale0 * mean_inv_frailty
+
+    def interval_distribution(self, priority: int) -> Distribution:
+        """Population-level (pooled) interval law for ``priority``.
+
+        A calibrated exponential-body + Pareto-tail mixture standing in
+        for the frailty mixture: body mean = the short-task scale, tail
+        = the long-service intervals.  Cached per priority.
+        """
+        self._check_priority(priority)
+        if priority not in self._pooled_cache:
+            b = self.base(priority)
+            body = Exponential(1.0 / b)
+            tail = Pareto(xm=3.0 * b, alpha=1.15)
+            self._pooled_cache[priority] = Mixture([body, tail], [0.75, 0.25])
+        return self._pooled_cache[priority]
+
+    def mtbf(self, priority: int) -> float:
+        """Analytic mean of the pooled interval law (heavy-tailed)."""
+        return self.interval_distribution(priority).mean()
+
+
+def google_like_catalog(
+    base_mean: float = BASE_MEAN,
+    base_growth: float = BASE_GROWTH,
+    frailty_sigma: float = FRAILTY_SIGMA,
+    length_coupling: float = LENGTH_COUPLING,
+    ref_length: float = REF_LENGTH,
+    priorities: tuple[int, ...] = PRIORITIES,
+) -> PriorityFailureModel:
+    """Build the default Google-like catalog.
+
+    Every parameter is exposed so the ablation benches can sweep the
+    frailty spread and the survivorship coupling.
+    """
+    return PriorityFailureModel(
+        base_mean=base_mean,
+        base_growth=base_growth,
+        frailty_sigma=frailty_sigma,
+        length_coupling=length_coupling,
+        ref_length=ref_length,
+        priorities=priorities,
+    )

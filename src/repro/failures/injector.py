@@ -1,0 +1,120 @@
+"""Failure injectors for the DES tier.
+
+An injector answers one question for the task executor: *given that the
+task just (re)started, how long will it run uninterrupted before the
+next failure strikes?*  Two implementations:
+
+* :class:`FailureInjector` — draws intervals from a distribution
+  (renewal semantics), optionally bounded to a total failure budget.
+* :class:`TraceReplayInjector` — replays an explicit list of
+  uninterrupted-interval lengths recorded in a trace, then reports no
+  further failures, mirroring the paper's ``kill -9`` replay of Google
+  task events.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.failures.distributions import Distribution
+
+__all__ = ["FailureInjector", "GangInjector", "TraceReplayInjector"]
+
+
+class FailureInjector:
+    """Distribution-driven injector with an optional failure budget.
+
+    Parameters
+    ----------
+    interval_dist:
+        Law of the uninterrupted interval before each failure.
+    rng:
+        Randomness source.
+    max_failures:
+        After this many failures the task runs failure-free (``None``
+        means unbounded).
+    """
+
+    def __init__(
+        self,
+        interval_dist: Distribution,
+        rng: np.random.Generator,
+        max_failures: int | None = None,
+    ):
+        self.interval_dist = interval_dist
+        self.rng = rng
+        self.max_failures = max_failures
+        self.failures_seen = 0
+
+    def next_failure_in(self) -> float:
+        """Uninterrupted run length before the next failure (``inf`` when
+        the budget is exhausted).  Calling this *commits* the failure:
+        the internal counter advances."""
+        if self.max_failures is not None and self.failures_seen >= self.max_failures:
+            return math.inf
+        self.failures_seen += 1
+        return float(self.interval_dist.sample(self.rng, 1)[0])
+
+    def reset(self) -> None:
+        """Forget all committed failures (fresh task attempt)."""
+        self.failures_seen = 0
+
+
+class GangInjector:
+    """Failure process of a gang of ranks that roll back together.
+
+    Models coordinated checkpointing (the paper's future-work target:
+    MPI programs): every rank runs in lockstep; the *first* failure of
+    any rank interrupts the whole gang, and after the coordinated
+    rollback every rank's renewal clock restarts.  Hence the gang's
+    uninterrupted interval is the minimum of fresh per-rank draws.
+    """
+
+    def __init__(self, members: Sequence):
+        if not members:
+            raise ValueError("a gang needs at least one member injector")
+        self.members = list(members)
+
+    def next_failure_in(self) -> float:
+        """Minimum of the members' next uninterrupted intervals."""
+        return min(m.next_failure_in() for m in self.members)
+
+    def reset(self) -> None:
+        """Reset every member (fresh gang attempt)."""
+        for m in self.members:
+            m.reset()
+
+
+class TraceReplayInjector:
+    """Replays recorded uninterrupted intervals, then never fails again.
+
+    ``intervals[h]`` is the uninterrupted execution length before the
+    (h+1)-st failure of the task, exactly as a trace records it.
+    """
+
+    def __init__(self, intervals: Sequence[float]):
+        ivs = [float(v) for v in intervals]
+        if any(v <= 0 for v in ivs):
+            raise ValueError("replay intervals must be strictly positive")
+        self._intervals = ivs
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        """Number of failures not yet replayed."""
+        return len(self._intervals) - self._pos
+
+    def next_failure_in(self) -> float:
+        """Next recorded interval, or ``inf`` once the trace is drained."""
+        if self._pos >= len(self._intervals):
+            return math.inf
+        val = self._intervals[self._pos]
+        self._pos += 1
+        return val
+
+    def reset(self) -> None:
+        """Rewind the replay to the first recorded failure."""
+        self._pos = 0

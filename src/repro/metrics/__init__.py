@@ -1,0 +1,33 @@
+"""Evaluation metrics: WPR, CDFs, per-priority summaries, comparisons.
+
+* :mod:`repro.metrics.wpr` — the Workload-Processing Ratio (Eq. 9) at
+  task and job granularity.
+* :mod:`repro.metrics.cdf` — empirical CDF helpers and quantile
+  extraction used by every figure reproduction.
+* :mod:`repro.metrics.summary` — min/avg/max grouping (Fig. 10) and
+  pairwise wall-clock comparisons (Figs. 12–14).
+"""
+
+from repro.metrics.wpr import job_wpr, task_wpr, wpr_from_arrays
+from repro.metrics.cdf import cdf_at, ecdf, fraction_above, fraction_below, quantile
+from repro.metrics.summary import (
+    MinAvgMax,
+    compare_wallclock,
+    group_min_avg_max,
+    WallclockComparison,
+)
+
+__all__ = [
+    "MinAvgMax",
+    "WallclockComparison",
+    "cdf_at",
+    "compare_wallclock",
+    "ecdf",
+    "fraction_above",
+    "fraction_below",
+    "group_min_avg_max",
+    "job_wpr",
+    "quantile",
+    "task_wpr",
+    "wpr_from_arrays",
+]

@@ -1,0 +1,116 @@
+"""Grouped summaries and pairwise comparisons for the figure harness.
+
+* :func:`group_min_avg_max` — the Fig. 10 layout (min/avg/max WPR per
+  priority, per policy).
+* :func:`compare_wallclock` — the Fig. 13/14 layout: per-job wall-clock
+  ratios between two policies, with the faster/slower split and average
+  improvement on each side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MinAvgMax", "WallclockComparison", "compare_wallclock", "group_min_avg_max"]
+
+
+@dataclass(frozen=True)
+class MinAvgMax:
+    """Min / mean / max triple of one group's metric."""
+
+    key: object
+    n: int
+    min: float
+    avg: float
+    max: float
+
+
+def group_min_avg_max(values, keys) -> list[MinAvgMax]:
+    """Per-group min/avg/max of ``values`` keyed by ``keys``.
+
+    Groups are returned in ascending key order (the Fig. 10 x-axis).
+    """
+    vals = np.asarray(values, dtype=float).ravel()
+    ks = np.asarray(keys).ravel()
+    if vals.shape != ks.shape:
+        raise ValueError("values and keys must share one shape")
+    if vals.size == 0:
+        raise ValueError("need at least one value")
+    out: list[MinAvgMax] = []
+    for key in np.unique(ks):
+        sel = vals[ks == key]
+        out.append(
+            MinAvgMax(
+                key=key.item() if hasattr(key, "item") else key,
+                n=int(sel.size),
+                min=float(sel.min()),
+                avg=float(sel.mean()),
+                max=float(sel.max()),
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class WallclockComparison:
+    """Pairwise job wall-clock comparison between two policies.
+
+    ``ratio`` entries are ``wall_a / wall_b`` per job: below 1 means
+    policy A finished the job faster.
+    """
+
+    n_jobs: int
+    ratio: np.ndarray
+    delta: np.ndarray
+    frac_a_faster: float
+    frac_b_faster: float
+    mean_speedup_when_a_faster: float
+    mean_slowdown_when_b_faster: float
+    mean_delta: float
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"A faster on {self.frac_a_faster:.0%} of jobs "
+            f"(avg {self.mean_speedup_when_a_faster:.1%} shorter); "
+            f"B faster on {self.frac_b_faster:.0%} "
+            f"(avg {self.mean_slowdown_when_b_faster:.1%} longer under A); "
+            f"mean wall-clock delta {self.mean_delta:+.1f}s"
+        )
+
+
+def compare_wallclock(wall_a, wall_b) -> WallclockComparison:
+    """Compare per-job wall-clock lengths of policy A against policy B.
+
+    Reproduces the Fig. 13 readout: the fraction of jobs faster under
+    each policy and the average relative gain on each side, plus the
+    absolute per-job deltas (Fig. 12/13b).
+    """
+    a = np.asarray(wall_a, dtype=float).ravel()
+    b = np.asarray(wall_b, dtype=float).ravel()
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("need at least one job")
+    if np.any(a <= 0) or np.any(b <= 0):
+        raise ValueError("wall-clock lengths must be positive")
+    ratio = a / b
+    delta = a - b
+    a_faster = ratio < 1.0
+    b_faster = ratio > 1.0
+    frac_a = float(np.mean(a_faster))
+    frac_b = float(np.mean(b_faster))
+    speedup = float(np.mean(1.0 - ratio[a_faster])) if a_faster.any() else 0.0
+    slowdown = float(np.mean(ratio[b_faster] - 1.0)) if b_faster.any() else 0.0
+    return WallclockComparison(
+        n_jobs=int(a.size),
+        ratio=ratio,
+        delta=delta,
+        frac_a_faster=frac_a,
+        frac_b_faster=frac_b,
+        mean_speedup_when_a_faster=speedup,
+        mean_slowdown_when_b_faster=slowdown,
+        mean_delta=float(np.mean(delta)),
+    )

@@ -1,0 +1,104 @@
+"""History-based workload estimation.
+
+The second predictor family the paper cites: estimate a task's length
+from the observed lengths of previous tasks of the same kind (same
+service / logical job name / priority — any hashable key).  Supports
+plain running means, recency-weighted EWMA, and conservative quantile
+estimates (over-predicting slightly is safer for checkpoint placement
+than under-predicting, since Eq. 4 is flatter to the right of ``x*``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+__all__ = ["HistoryPredictor"]
+
+_MODES = ("mean", "ewma", "quantile")
+
+
+class HistoryPredictor:
+    """Per-key running estimate of task lengths.
+
+    Parameters
+    ----------
+    mode:
+        ``"mean"`` (running average), ``"ewma"`` (recency-weighted,
+        see ``alpha``), or ``"quantile"`` (empirical ``q``-quantile).
+    alpha:
+        EWMA weight of the newest observation.
+    q:
+        Quantile level for ``mode="quantile"``.
+    default:
+        Prediction for keys never seen (``None`` → global mean; raises
+        until at least one observation exists).
+    """
+
+    def __init__(
+        self,
+        mode: str = "mean",
+        alpha: float = 0.3,
+        q: float = 0.75,
+        default: float | None = None,
+    ):
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must lie in (0,1], got {alpha}")
+        if not 0 <= q <= 1:
+            raise ValueError(f"q must lie in [0,1], got {q}")
+        self.mode = mode
+        self.alpha = alpha
+        self.q = q
+        self.default = default
+        self._sums: dict = defaultdict(float)
+        self._counts: dict = defaultdict(int)
+        self._ewma: dict = {}
+        self._samples: dict = defaultdict(list)
+        self._global_sum = 0.0
+        self._global_count = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, key, length: float) -> None:
+        """Record one completed task of kind ``key``."""
+        if length <= 0:
+            raise ValueError(f"length must be positive, got {length}")
+        self._sums[key] += length
+        self._counts[key] += 1
+        self._global_sum += length
+        self._global_count += 1
+        if key in self._ewma:
+            self._ewma[key] = self.alpha * length + (1 - self.alpha) * self._ewma[key]
+        else:
+            self._ewma[key] = length
+        if self.mode == "quantile":
+            self._samples[key].append(length)
+
+    def n_observations(self, key) -> int:
+        """How many lengths were observed for ``key``."""
+        return self._counts[key]
+
+    def predict(self, key) -> float:
+        """Predicted length for a new task of kind ``key``.
+
+        Falls back to ``default`` (or the global mean) for unseen keys.
+        """
+        if self._counts[key] == 0:
+            if self.default is not None:
+                return self.default
+            if self._global_count == 0:
+                raise KeyError(
+                    f"no observations for {key!r} and no default configured"
+                )
+            return self._global_sum / self._global_count
+        if self.mode == "mean":
+            return self._sums[key] / self._counts[key]
+        if self.mode == "ewma":
+            return self._ewma[key]
+        return float(np.quantile(np.asarray(self._samples[key]), self.q))
+
+    def predict_many(self, keys) -> np.ndarray:
+        """Vector of predictions for an iterable of keys."""
+        return np.asarray([self.predict(k) for k in keys], dtype=float)

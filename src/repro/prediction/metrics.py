@@ -1,0 +1,53 @@
+"""Prediction-quality metrics for the workload predictors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PredictionReport", "prediction_report"]
+
+
+@dataclass(frozen=True)
+class PredictionReport:
+    """Error summary of a batch of workload predictions."""
+
+    n: int
+    mape: float
+    median_ape: float
+    bias: float
+    rmse: float
+    over_fraction: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} MAPE={self.mape:.1%} medAPE={self.median_ape:.1%} "
+            f"bias={self.bias:+.1f}s RMSE={self.rmse:.1f}s "
+            f"over-predicted {self.over_fraction:.0%}"
+        )
+
+
+def prediction_report(predicted, actual) -> PredictionReport:
+    """Compute MAPE / median-APE / bias / RMSE / over-prediction rate.
+
+    ``bias > 0`` means over-prediction on average — the safe direction
+    for checkpoint placement (Eq. 4 is flatter to the right of ``x*``).
+    """
+    p = np.asarray(predicted, dtype=float).ravel()
+    a = np.asarray(actual, dtype=float).ravel()
+    if p.shape != a.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {a.shape}")
+    if p.size == 0:
+        raise ValueError("need at least one prediction")
+    if np.any(a <= 0):
+        raise ValueError("actual lengths must be positive")
+    ape = np.abs(p - a) / a
+    return PredictionReport(
+        n=int(p.size),
+        mape=float(np.mean(ape)),
+        median_ape=float(np.median(ape)),
+        bias=float(np.mean(p - a)),
+        rmse=float(np.sqrt(np.mean((p - a) ** 2))),
+        over_fraction=float(np.mean(p > a)),
+    )

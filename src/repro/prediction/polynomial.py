@@ -1,0 +1,145 @@
+"""Sparse polynomial regression for workload prediction.
+
+A small, dependency-free take on Huang et al.'s approach: expand the
+task's input features into polynomial terms up to a configurable
+degree, then fit a ridge-regularized least-squares model over a
+greedily selected sparse subset of terms (forward selection by
+correlation with the residual — a matching-pursuit style proxy for the
+paper's lasso).
+
+Intended scale: tens of features, thousands of samples — the job
+parser's per-service model, not a general ML library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations_with_replacement
+
+import numpy as np
+
+__all__ = ["PolynomialRegressionPredictor"]
+
+
+def _expand(X: np.ndarray, degree: int) -> tuple[np.ndarray, list[tuple[int, ...]]]:
+    """Polynomial feature expansion (bias + all monomials up to degree).
+
+    Returns the design matrix and the exponent tuple of each column.
+    """
+    n, d = X.shape
+    terms: list[tuple[int, ...]] = [()]
+    cols = [np.ones(n)]
+    for deg in range(1, degree + 1):
+        for combo in combinations_with_replacement(range(d), deg):
+            terms.append(combo)
+            col = np.ones(n)
+            for j in combo:
+                col = col * X[:, j]
+            cols.append(col)
+    return np.column_stack(cols), terms
+
+
+@dataclass
+class _FittedModel:
+    selected: list[int]
+    coef: np.ndarray
+    mean: np.ndarray
+    scale: np.ndarray
+    terms: list[tuple[int, ...]]
+
+
+class PolynomialRegressionPredictor:
+    """Predict task execution time from input features.
+
+    Parameters
+    ----------
+    degree:
+        Maximum polynomial degree of the feature expansion.
+    max_terms:
+        Sparsity budget: number of expanded terms kept (greedy forward
+        selection; the bias term is always kept).
+    ridge:
+        L2 regularization strength of the final least-squares fit.
+    """
+
+    def __init__(self, degree: int = 2, max_terms: int = 8, ridge: float = 1e-6):
+        if degree < 1:
+            raise ValueError(f"degree must be >= 1, got {degree}")
+        if max_terms < 1:
+            raise ValueError(f"max_terms must be >= 1, got {max_terms}")
+        if ridge < 0:
+            raise ValueError(f"ridge must be >= 0, got {ridge}")
+        self.degree = degree
+        self.max_terms = max_terms
+        self.ridge = ridge
+        self._model: _FittedModel | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._model is not None
+
+    def fit(self, features, lengths) -> "PolynomialRegressionPredictor":
+        """Fit the model on historical ``(features, observed length)``."""
+        X = np.atleast_2d(np.asarray(features, dtype=float))
+        y = np.asarray(lengths, dtype=float).ravel()
+        if X.shape[0] != y.size:
+            raise ValueError(
+                f"{X.shape[0]} feature rows vs {y.size} lengths"
+            )
+        if y.size < 2:
+            raise ValueError("need at least two samples to fit")
+        if np.any(y <= 0):
+            raise ValueError("task lengths must be strictly positive")
+
+        design, terms = _expand(X, self.degree)
+        # Standardize non-bias columns for a fair correlation screen.
+        mean = design.mean(axis=0)
+        scale = design.std(axis=0)
+        scale[scale == 0] = 1.0
+        mean[0], scale[0] = 0.0, 1.0  # keep the bias column as-is
+        Z = (design - mean) / scale
+
+        # Greedy forward selection by residual correlation.
+        selected = [0]
+        residual = y - y.mean()
+        budget = min(self.max_terms, Z.shape[1])
+        while len(selected) < budget:
+            corrs = np.abs(Z.T @ residual)
+            corrs[selected] = -np.inf
+            best = int(np.argmax(corrs))
+            if not np.isfinite(corrs[best]) or corrs[best] <= 1e-12:
+                break
+            selected.append(best)
+            Zs = Z[:, selected]
+            gram = Zs.T @ Zs + self.ridge * np.eye(len(selected))
+            coef = np.linalg.solve(gram, Zs.T @ y)
+            residual = y - Zs @ coef
+
+        Zs = Z[:, selected]
+        gram = Zs.T @ Zs + self.ridge * np.eye(len(selected))
+        coef = np.linalg.solve(gram, Zs.T @ y)
+        self._model = _FittedModel(
+            selected=selected, coef=coef, mean=mean, scale=scale, terms=terms
+        )
+        return self
+
+    def predict(self, features) -> np.ndarray:
+        """Predicted lengths for new feature rows (floored at a small
+        positive value — a workload cannot be negative)."""
+        if self._model is None:
+            raise RuntimeError("predictor is not fitted")
+        X = np.atleast_2d(np.asarray(features, dtype=float))
+        design, _ = _expand(X, self.degree)
+        Z = (design - self._model.mean) / self._model.scale
+        pred = Z[:, self._model.selected] @ self._model.coef
+        return np.maximum(pred, 1e-6)
+
+    @property
+    def selected_terms(self) -> list[tuple[int, ...]]:
+        """Exponent tuples of the terms kept by the sparse selection
+        (``()`` is the bias; ``(0, 0)`` means ``x0**2``)."""
+        if self._model is None:
+            raise RuntimeError("predictor is not fitted")
+        return [self._model.terms[i] for i in self._model.selected]

@@ -1,0 +1,42 @@
+"""Discrete-event simulation engine.
+
+A small, deterministic, generator-based process simulator in the style
+of SimPy, used as the substrate for the cloud-cluster model
+(:mod:`repro.cluster`).  Processes are Python generators that ``yield``
+events; the :class:`~repro.sim.engine.Environment` advances virtual time
+and resumes processes when the events they wait on trigger.
+
+The engine is intentionally minimal but complete for this project's
+needs: timeouts, generic events, process interruption (used to model
+task kill/evict events), ``AnyOf``/``AllOf`` conditions, and capacity
+resources / stores (used to model NFS server channels and VM slots).
+
+Determinism: events scheduled at the same timestamp are processed in
+FIFO scheduling order (a monotonically increasing sequence number breaks
+ties), so a fixed seed yields a bit-identical trajectory.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

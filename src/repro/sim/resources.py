@@ -1,0 +1,141 @@
+"""Capacity resources and object stores for the DES engine.
+
+:class:`Resource` models a server with integer capacity and a FIFO wait
+queue — used for NFS server I/O channels and host checkpoint bandwidth.
+:class:`Store` models a FIFO buffer of Python objects — used for the
+pending-task queue of the cluster scheduler.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.sim.engine import URGENT, Environment, Event
+
+__all__ = ["Resource", "Store"]
+
+
+class _Request(Event):
+    """Event representing a pending acquire; also a context manager."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def __enter__(self) -> "_Request":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request (used on interrupt)."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """A server pool with ``capacity`` identical slots and a FIFO queue.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        ...  # hold the slot
+        resource.release(req)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = int(capacity)
+        self._users: set[_Request] = set()
+        self._waiting: deque[_Request] = deque()
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> _Request:
+        """Ask for one slot; the returned event triggers when granted."""
+        req = _Request(self)
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, req: _Request) -> None:
+        """Give back a previously granted slot (idempotent)."""
+        if req not in self._users:
+            return
+        self._users.remove(req)
+        self._grant_next()
+
+    def _cancel(self, req: _Request) -> None:
+        try:
+            self._waiting.remove(req)
+        except ValueError:
+            self.release(req)
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            if nxt.triggered:  # already cancelled/failed
+                continue
+            self._users.add(nxt)
+            nxt.succeed()
+
+
+class Store:
+    """Unbounded FIFO store of arbitrary items.
+
+    ``put`` never blocks; ``get`` returns an event that triggers once an
+    item is available (FIFO among getters).
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple[Any, ...]:
+        """Snapshot of queued items (for inspection/tests)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> None:
+        """Add ``item``, waking the oldest waiting getter if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered:
+                continue
+            getter._triggered = True
+            getter._value = item
+            self.env._schedule(getter, URGENT)
+            return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Event yielding the next item (immediately if one is queued)."""
+        ev = Event(self.env)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev

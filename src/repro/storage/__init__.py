@@ -1,0 +1,45 @@
+"""Checkpoint storage substrate: BLCR-like cost models and devices.
+
+The paper measures BLCR checkpoint/restart costs on the Gideon-II
+cluster and tabulates them (Fig. 7, Tables 2–5).  We encode those
+measurements as interpolated cost models:
+
+* :mod:`repro.storage.costmodel` — raw calibration tables + interpolators
+  (checkpoint cost vs memory size per device, restart cost per migration
+  type, contention scaling for simultaneous checkpoints).
+* :mod:`repro.storage.devices` — stateful device objects for the DES
+  tier (:class:`LocalRamdisk`, :class:`NFSServer`, :class:`DMNFS`)
+  which track concurrent checkpoints and apply contention.
+* :mod:`repro.storage.blcr` — the :class:`BLCRModel` facade used by
+  policies and the storage selector (§4.2.2).
+"""
+
+from repro.storage.costmodel import (
+    CHECKPOINT_OP_TABLE,
+    LOCAL_CONTENTION_AVG,
+    NFS_CONTENTION_AVG,
+    checkpoint_cost_local,
+    checkpoint_cost_nfs,
+    checkpoint_op_time,
+    contention_factor_nfs,
+    restart_cost,
+)
+from repro.storage.devices import DMNFS, LocalRamdisk, NFSServer, StorageDevice
+from repro.storage.blcr import BLCRModel, MigrationType
+
+__all__ = [
+    "BLCRModel",
+    "CHECKPOINT_OP_TABLE",
+    "DMNFS",
+    "LOCAL_CONTENTION_AVG",
+    "LocalRamdisk",
+    "MigrationType",
+    "NFSServer",
+    "NFS_CONTENTION_AVG",
+    "StorageDevice",
+    "checkpoint_cost_local",
+    "checkpoint_cost_nfs",
+    "checkpoint_op_time",
+    "contention_factor_nfs",
+    "restart_cost",
+]

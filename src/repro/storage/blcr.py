@@ -1,0 +1,108 @@
+"""BLCR facade: the checkpoint/restart cost interface used by policies.
+
+:class:`BLCRModel` answers, for a task of a given memory footprint:
+
+* what one checkpoint costs on each storage target (``C_l``, ``C_s``),
+* what a restart costs under each migration type (``R_l`` ≡ type A,
+  ``R_s`` ≡ type B),
+
+which is all the information the §4.2.2 storage selector and the
+Theorem 1 policies consume.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.storage.costmodel import (
+    checkpoint_cost_local,
+    checkpoint_cost_nfs,
+    checkpoint_op_time,
+    restart_cost,
+)
+
+__all__ = ["BLCRModel", "MigrationType"]
+
+
+class MigrationType(str, enum.Enum):
+    """How a failed task's memory image reaches its new host.
+
+    ``A``: checkpoints lived on the failed host's local ramdisk; the
+    image must be staged through the shared disk before restart
+    (cheap checkpoints, expensive restarts).
+
+    ``B``: checkpoints were written to the shared disk directly
+    (expensive checkpoints, cheap restarts).
+    """
+
+    A = "A"
+    B = "B"
+
+
+@dataclass(frozen=True)
+class BLCRModel:
+    """Cost model of a BLCR deployment for one task memory footprint.
+
+    Parameters
+    ----------
+    mem_mb:
+        Task resident memory, MB (the trace records this per task).
+    local_scale, shared_scale:
+        Optional multipliers for sensitivity/ablation studies
+        (e.g. a slower shared filesystem).
+    """
+
+    mem_mb: float
+    local_scale: float = 1.0
+    shared_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mem_mb <= 0:
+            raise ValueError(f"memory size must be positive, got {self.mem_mb}")
+        if self.local_scale <= 0 or self.shared_scale <= 0:
+            raise ValueError("cost scales must be positive")
+
+    # -- checkpoint costs ------------------------------------------------
+    @property
+    def checkpoint_cost_local(self) -> float:
+        """``C_l``: one checkpoint on the local ramdisk, seconds."""
+        return self.local_scale * checkpoint_cost_local(self.mem_mb)
+
+    @property
+    def checkpoint_cost_shared(self) -> float:
+        """``C_s``: one checkpoint on the shared disk, seconds."""
+        return self.shared_scale * checkpoint_cost_nfs(self.mem_mb)
+
+    def checkpoint_cost(self, target: "MigrationType | str") -> float:
+        """Checkpoint cost for the storage ``target`` (A→local, B→shared)."""
+        t = MigrationType(target)
+        return (
+            self.checkpoint_cost_local
+            if t is MigrationType.A
+            else self.checkpoint_cost_shared
+        )
+
+    # -- restart costs -----------------------------------------------------
+    @property
+    def restart_cost_local(self) -> float:
+        """``R_l``: restart when checkpoints were local (type A)."""
+        return restart_cost(self.mem_mb, "A")
+
+    @property
+    def restart_cost_shared(self) -> float:
+        """``R_s``: restart when checkpoints were shared (type B)."""
+        return restart_cost(self.mem_mb, "B")
+
+    def restart_cost(self, target: "MigrationType | str") -> float:
+        """Restart cost under migration ``target``."""
+        t = MigrationType(target)
+        return self.restart_cost_local if t is MigrationType.A else self.restart_cost_shared
+
+    # -- misc ---------------------------------------------------------------
+    @property
+    def operation_time(self) -> float:
+        """Blocking time of one checkpoint *operation* over shared disk
+        (Table 4) — motivates running checkpoints in a separate thread
+        (Algorithm 1, line 7)."""
+        return checkpoint_op_time(self.mem_mb)

@@ -1,0 +1,92 @@
+"""Trace persistence: JSON-lines, one job per line.
+
+The format is stable and human-inspectable so synthesized traces can be
+cached between experiment runs and diffed when calibration changes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.trace.models import Job, JobType, Task, Trace
+
+__all__ = ["load_trace", "save_trace"]
+
+_FORMAT_VERSION = 1
+
+
+def _job_to_dict(job: Job) -> dict:
+    return {
+        "v": _FORMAT_VERSION,
+        "job_id": job.job_id,
+        "job_type": job.job_type.value,
+        "submit_time": job.submit_time,
+        "tasks": [
+            {
+                "task_id": t.task_id,
+                "index": t.index,
+                "te": t.te,
+                "mem_mb": t.mem_mb,
+                "priority": t.priority,
+                "failure_intervals": list(t.failure_intervals),
+                "interval_scale": t.interval_scale,
+                "observed_intervals": list(t.observed_intervals),
+            }
+            for t in job.tasks
+        ],
+    }
+
+
+def _job_from_dict(d: dict) -> Job:
+    if d.get("v") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {d.get('v')!r}")
+    job_id = int(d["job_id"])
+    tasks = tuple(
+        Task(
+            task_id=int(t["task_id"]),
+            job_id=job_id,
+            index=int(t["index"]),
+            te=float(t["te"]),
+            mem_mb=float(t["mem_mb"]),
+            priority=int(t["priority"]),
+            n_failures=len(t["failure_intervals"]),
+            failure_intervals=tuple(float(v) for v in t["failure_intervals"]),
+            interval_scale=float(t.get("interval_scale", 0.0)),
+            observed_intervals=tuple(
+                float(v) for v in t.get("observed_intervals", ())
+            ),
+        )
+        for t in d["tasks"]
+    )
+    return Job(
+        job_id=job_id,
+        job_type=JobType(d["job_type"]),
+        submit_time=float(d["submit_time"]),
+        tasks=tasks,
+    )
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` as JSON lines (one job per line)."""
+    p = Path(path)
+    with p.open("w", encoding="utf-8") as fh:
+        for job in trace:
+            fh.write(json.dumps(_job_to_dict(job), separators=(",", ":")))
+            fh.write("\n")
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    p = Path(path)
+    jobs = []
+    with p.open("r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                jobs.append(_job_from_dict(json.loads(line)))
+            except (KeyError, ValueError, json.JSONDecodeError) as exc:
+                raise ValueError(f"{p}:{line_no}: malformed job record: {exc}") from exc
+    return Trace(tuple(jobs))

@@ -1,0 +1,206 @@
+"""Workload models: jobs, tasks, and whole traces.
+
+A :class:`Task` records both its *requirements* (productive length,
+memory, priority) and its *historical failure record* — the number of
+failures it suffered in the original (trace) execution and the observed
+uninterrupted intervals preceding each failure.  The historical record
+feeds the MNOF/MTBF estimators exactly like the paper mines the Google
+trace; simulations may either replay those intervals or redraw from the
+same law.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["Job", "JobType", "Task", "Trace"]
+
+
+class JobType(str, enum.Enum):
+    """Job structure, per the Google trace characterization (§5.1)."""
+
+    #: tasks execute one after another (a pipeline)
+    SEQUENTIAL = "ST"
+    #: tasks execute in parallel (bag-of-tasks / MapReduce-like)
+    BAG_OF_TASKS = "BOT"
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit of work.
+
+    Parameters
+    ----------
+    task_id:
+        Globally unique id.
+    job_id:
+        Owning job.
+    index:
+        Position within the job (execution order for ST jobs).
+    te:
+        Productive execution time, seconds (excludes all overheads).
+    mem_mb:
+        Resident memory footprint, MB (drives checkpoint costs and VM
+        placement).
+    priority:
+        Google priority 1..12 (drives the failure-interval law).
+    n_failures:
+        Failures suffered in the historical execution.
+    failure_intervals:
+        Observed uninterrupted interval before each historical failure
+        (``len == n_failures``; the final censored run is not recorded,
+        matching what failure events in a trace expose).
+    interval_scale:
+        The task's true mean failure interval (frailty model ground
+        truth), seconds; ``0`` when unknown.  Simulations that redraw
+        failures instead of replaying history use this.
+    observed_intervals:
+        What the *monitoring record* shows as the gap between
+        consecutive failure events: the true uninterrupted interval
+        plus failure-detection and resubmission delays.  The paper
+        (§4.1) stresses that accurate failure timestamps are hard to
+        record (non-synchronous clocks, detection delay) — this is the
+        polluted series an MTBF estimator actually sees, while failure
+        *counts* (MNOF's input) are unaffected.  Empty means "same as
+        ``failure_intervals``".
+    """
+
+    task_id: int
+    job_id: int
+    index: int
+    te: float
+    mem_mb: float
+    priority: int
+    n_failures: int = 0
+    failure_intervals: tuple[float, ...] = ()
+    interval_scale: float = 0.0
+    observed_intervals: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.te <= 0:
+            raise ValueError(f"te must be positive, got {self.te}")
+        if self.mem_mb <= 0:
+            raise ValueError(f"mem_mb must be positive, got {self.mem_mb}")
+        if not 1 <= self.priority <= 12:
+            raise ValueError(f"priority must be in 1..12, got {self.priority}")
+        if self.n_failures < 0:
+            raise ValueError(f"n_failures must be >= 0, got {self.n_failures}")
+        if len(self.failure_intervals) != self.n_failures:
+            raise ValueError(
+                f"failure_intervals has {len(self.failure_intervals)} entries "
+                f"but n_failures={self.n_failures}"
+            )
+        if any(v <= 0 for v in self.failure_intervals):
+            raise ValueError("failure intervals must be strictly positive")
+        if self.interval_scale < 0:
+            raise ValueError(
+                f"interval_scale must be >= 0, got {self.interval_scale}"
+            )
+        if self.observed_intervals and len(self.observed_intervals) != self.n_failures:
+            raise ValueError(
+                f"observed_intervals has {len(self.observed_intervals)} "
+                f"entries but n_failures={self.n_failures}"
+            )
+        if any(v <= 0 for v in self.observed_intervals):
+            raise ValueError("observed intervals must be strictly positive")
+
+    @property
+    def failed(self) -> bool:
+        """Whether the task suffered at least one historical failure."""
+        return self.n_failures > 0
+
+    @property
+    def recorded_intervals(self) -> tuple[float, ...]:
+        """The interval series a monitoring-based estimator sees:
+        ``observed_intervals`` when recorded, else the true intervals."""
+        return self.observed_intervals or self.failure_intervals
+
+
+@dataclass(frozen=True)
+class Job:
+    """A user request: one or more tasks plus a submission time."""
+
+    job_id: int
+    job_type: JobType
+    submit_time: float
+    tasks: tuple[Task, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.submit_time < 0:
+            raise ValueError(f"submit_time must be >= 0, got {self.submit_time}")
+        if not self.tasks:
+            raise ValueError("a job must contain at least one task")
+        if any(t.job_id != self.job_id for t in self.tasks):
+            raise ValueError("all tasks must reference their owning job")
+
+    @property
+    def n_tasks(self) -> int:
+        """Number of tasks in the job."""
+        return len(self.tasks)
+
+    @property
+    def total_te(self) -> float:
+        """Aggregate productive work over all tasks, seconds."""
+        return sum(t.te for t in self.tasks)
+
+    @property
+    def length(self) -> float:
+        """Job execution length: aggregate work for ST jobs, the longest
+        task for BoT jobs (tasks run in parallel)."""
+        if self.job_type is JobType.SEQUENTIAL:
+            return self.total_te
+        return max(t.te for t in self.tasks)
+
+    @property
+    def max_mem_mb(self) -> float:
+        """Largest task memory footprint, MB."""
+        return max(t.mem_mb for t in self.tasks)
+
+    @property
+    def priority(self) -> int:
+        """Job priority (all tasks of a job share one priority)."""
+        return self.tasks[0].priority
+
+    @property
+    def failed_task_fraction(self) -> float:
+        """Fraction of tasks with at least one historical failure."""
+        return sum(t.failed for t in self.tasks) / len(self.tasks)
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An ordered collection of jobs (by submission time)."""
+
+    jobs: tuple[Job, ...]
+
+    def __post_init__(self) -> None:
+        if any(
+            a.submit_time > b.submit_time
+            for a, b in zip(self.jobs, self.jobs[1:])
+        ):
+            raise ValueError("jobs must be sorted by submit_time")
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self):
+        return iter(self.jobs)
+
+    @property
+    def n_tasks(self) -> int:
+        """Total number of tasks across all jobs."""
+        return sum(j.n_tasks for j in self.jobs)
+
+    def tasks(self):
+        """Iterate over every task in submission order."""
+        for job in self.jobs:
+            yield from job.tasks
+
+    def by_type(self, job_type: JobType) -> "Trace":
+        """Sub-trace containing only jobs of ``job_type``."""
+        return Trace(tuple(j for j in self.jobs if j.job_type is job_type))
+
+    def horizon(self) -> float:
+        """Last submission time (0 for an empty trace)."""
+        return self.jobs[-1].submit_time if self.jobs else 0.0

@@ -1,0 +1,41 @@
+"""Sample-job selection rules from the paper's experimental setup (§5.1).
+
+The paper selects as evaluation samples "only jobs half of whose tasks
+(at least) suffer from a failure event", and several experiments
+restrict task lengths to caps (RL = 1000 / 2000 / 4000 seconds).
+"""
+
+from __future__ import annotations
+
+from repro.trace.models import Trace
+
+__all__ = ["failed_job_sample", "filter_by_length"]
+
+
+def failed_job_sample(trace: Trace, min_failed_fraction: float = 0.5) -> Trace:
+    """Jobs where at least ``min_failed_fraction`` of tasks failed.
+
+    This is the paper's sample-job rule: it focuses the evaluation on
+    jobs for which fault tolerance actually matters.
+    """
+    if not 0.0 <= min_failed_fraction <= 1.0:
+        raise ValueError(
+            f"min_failed_fraction must lie in [0,1], got {min_failed_fraction}"
+        )
+    return Trace(
+        tuple(j for j in trace if j.failed_task_fraction >= min_failed_fraction)
+    )
+
+
+def filter_by_length(trace: Trace, restricted_length: float) -> Trace:
+    """Jobs whose every task is at most ``restricted_length`` seconds
+    long (the RL caps of Figs. 11–13)."""
+    if restricted_length <= 0:
+        raise ValueError(
+            f"restricted_length must be positive, got {restricted_length}"
+        )
+    return Trace(
+        tuple(
+            j for j in trace if all(t.te <= restricted_length for t in j.tasks)
+        )
+    )

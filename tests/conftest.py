@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.failures.catalog import google_like_catalog
+from repro.trace.synthesizer import TraceConfig, synthesize_trace
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """The default calibrated failure catalog."""
+    return google_like_catalog()
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A small deterministic trace shared across tests (200 jobs)."""
+    return synthesize_trace(TraceConfig(n_jobs=200), seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace():
+    """A very small trace for DES integration tests (25 jobs)."""
+    return synthesize_trace(
+        TraceConfig(n_jobs=25, arrival_rate=1.0), seed=11
+    )

@@ -1,0 +1,116 @@
+"""Unit tests for Algorithm 1 and the Theorem 2 rule."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.adaptive import AdaptiveCheckpointer, theorem2_next_count
+from repro.core.formulas import optimal_interval_count_int
+
+
+class TestTheorem2Rule:
+    def test_decrement(self):
+        assert theorem2_next_count(5) == 4
+
+    def test_floor_at_one(self):
+        assert theorem2_next_count(1) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            theorem2_next_count(0)
+
+
+class TestAdaptiveCheckpointer:
+    def test_initial_plan_matches_formula3(self):
+        ck = AdaptiveCheckpointer(te=18.0, checkpoint_cost=2.0, mnof=2.0)
+        assert ck.plan.interval_count == 3
+        assert ck.plan.interval_length == pytest.approx(6.0)
+
+    def test_theorem2_chain(self):
+        """After each checkpoint the count drops by exactly one and the
+        interval length is unchanged — the Theorem 2 invariant."""
+        ck = AdaptiveCheckpointer(te=1000.0, checkpoint_cost=1.0, mnof=8.0)
+        x0 = ck.plan.interval_count
+        length0 = ck.plan.interval_length
+        recomputes = ck.recompute_count
+        for k in range(x0 - 1):
+            plan = ck.on_checkpoint()
+            assert plan.interval_count == x0 - 1 - k
+            assert plan.interval_length == pytest.approx(length0)
+        # No re-optimization happened along the way.
+        assert ck.recompute_count == recomputes
+        assert ck.checkpoints_taken == x0 - 1
+
+    def test_mnof_scales_with_remaining(self):
+        ck = AdaptiveCheckpointer(te=100.0, checkpoint_cost=1.0, mnof=4.0)
+        x0 = ck.plan.interval_count
+        ck.on_checkpoint()
+        expected = 4.0 * ck.remaining_te / 100.0
+        assert ck.mnof == pytest.approx(expected)
+        assert ck.remaining_te == pytest.approx(100.0 * (x0 - 1) / x0)
+
+    def test_mnof_change_triggers_replan(self):
+        ck = AdaptiveCheckpointer(te=400.0, checkpoint_cost=1.0, mnof=1.0)
+        before = ck.recompute_count
+        plan = ck.on_mnof_change(16.0)
+        assert ck.recompute_count == before + 1
+        # New count matches Formula (3) on the remaining work.
+        expected = optimal_interval_count_int(
+            ck.remaining_te, ck.mnof, 1.0
+        )
+        assert plan.interval_count == max(1, int(expected))
+        assert plan.interval_count > 1
+
+    def test_mnof_change_rescales_to_remaining(self):
+        ck = AdaptiveCheckpointer(te=100.0, checkpoint_cost=1.0, mnof=4.0)
+        ck.on_checkpoint()
+        remaining = ck.remaining_te
+        ck.on_mnof_change(10.0)
+        assert ck.mnof == pytest.approx(10.0 * remaining / 100.0)
+
+    def test_next_checkpoint_countdown(self):
+        ck = AdaptiveCheckpointer(te=18.0, checkpoint_cost=2.0, mnof=2.0)
+        assert ck.next_checkpoint_in() == pytest.approx(6.0)
+
+    def test_last_interval_has_no_checkpoint(self):
+        ck = AdaptiveCheckpointer(te=18.0, checkpoint_cost=2.0, mnof=2.0)
+        ck.on_checkpoint()
+        ck.on_checkpoint()
+        assert ck.plan.interval_count == 1
+        assert ck.next_checkpoint_in() == math.inf
+
+    def test_completion(self):
+        ck = AdaptiveCheckpointer(te=18.0, checkpoint_cost=2.0, mnof=2.0)
+        ck.on_checkpoint()
+        ck.on_checkpoint()
+        ck.on_progress_to_completion()
+        assert ck.done
+        assert ck.next_checkpoint_in() == math.inf
+        with pytest.raises(RuntimeError):
+            ck.on_checkpoint()
+
+    def test_zero_mnof_never_checkpoints(self):
+        ck = AdaptiveCheckpointer(te=500.0, checkpoint_cost=1.0, mnof=0.0)
+        assert ck.plan.interval_count == 1
+        assert ck.next_checkpoint_in() == math.inf
+
+    def test_min_interval_caps_count(self):
+        dense = AdaptiveCheckpointer(te=100.0, checkpoint_cost=0.001, mnof=50.0)
+        capped = AdaptiveCheckpointer(
+            te=100.0, checkpoint_cost=0.001, mnof=50.0, min_interval=10.0
+        )
+        assert dense.plan.interval_count > capped.plan.interval_count
+        assert capped.plan.interval_length >= 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveCheckpointer(te=0.0, checkpoint_cost=1.0, mnof=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveCheckpointer(te=1.0, checkpoint_cost=0.0, mnof=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveCheckpointer(te=1.0, checkpoint_cost=1.0, mnof=-1.0)
+        ck = AdaptiveCheckpointer(te=1.0, checkpoint_cost=1.0, mnof=1.0)
+        with pytest.raises(ValueError):
+            ck.on_mnof_change(-2.0)

@@ -1,0 +1,114 @@
+"""Unit tests for the per-priority frailty failure catalog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.failures.catalog import (
+    PRIORITIES,
+    PriorityFailureModel,
+    google_like_catalog,
+)
+
+
+class TestBaseScaling:
+    def test_base_grows_geometrically(self, catalog):
+        bases = [catalog.base(p) for p in PRIORITIES]
+        ratios = np.diff(np.log(bases))
+        np.testing.assert_allclose(ratios, np.log(catalog.base_growth))
+
+    def test_priority12_much_calmer_than_1(self, catalog):
+        assert catalog.base(12) / catalog.base(1) > 50
+
+    def test_unknown_priority_rejected(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.base(0)
+        with pytest.raises(KeyError):
+            catalog.base(13)
+
+
+class TestTaskScale:
+    def test_scale_positive(self, catalog, rng):
+        for p in (1, 6, 12):
+            assert catalog.sample_task_scale(p, 300.0, rng) > 0
+
+    def test_scale_grows_with_te(self, catalog):
+        # Average over frailty: scale should grow linearly with te
+        # (length_coupling = 1).
+        rng1 = np.random.default_rng(0)
+        rng2 = np.random.default_rng(0)
+        short = np.mean([catalog.sample_task_scale(1, 300.0, rng1)
+                         for _ in range(2000)])
+        long_ = np.mean([catalog.sample_task_scale(1, 3000.0, rng2)
+                         for _ in range(2000)])
+        assert long_ / short == pytest.approx(10.0, rel=0.05)
+
+    def test_frailty_mean_one(self, catalog, rng):
+        # E[scale] = base * (te/ref)^coupling for mean-one frailty.
+        scales = [catalog.sample_task_scale(1, catalog.ref_length, rng)
+                  for _ in range(20_000)]
+        assert np.mean(scales) == pytest.approx(catalog.base(1), rel=0.05)
+
+    def test_invalid_te(self, catalog, rng):
+        with pytest.raises(ValueError):
+            catalog.sample_task_scale(1, 0.0, rng)
+
+
+class TestExpectedMnof:
+    def test_reference_length_formula(self, catalog):
+        p = 1
+        expected = (catalog.ref_length / catalog.base(p)) * np.exp(
+            catalog.frailty_sigma**2
+        )
+        assert catalog.expected_mnof(p) == pytest.approx(expected)
+
+    def test_length_invariant_under_unit_coupling(self, catalog):
+        # With coupling = 1, MNOF does not depend on te — the Table 7
+        # "MNOF is stable across length caps" mechanism.
+        assert catalog.expected_mnof(2, 300.0) == pytest.approx(
+            catalog.expected_mnof(2, 30_000.0)
+        )
+
+    def test_monte_carlo_agreement(self, catalog):
+        rng = np.random.default_rng(9)
+        te = 500.0
+        counts = []
+        for _ in range(4000):
+            scale = catalog.sample_task_scale(1, te, rng)
+            # Poisson counting of exp(scale) intervals over work te.
+            counts.append(rng.poisson(te / scale))
+        assert np.mean(counts) == pytest.approx(
+            catalog.expected_mnof(1, te), rel=0.1
+        )
+
+    def test_decreases_with_priority(self, catalog):
+        vals = [catalog.expected_mnof(p) for p in PRIORITIES]
+        assert all(a > b for a, b in zip(vals, vals[1:]))
+
+
+class TestPooledDistribution:
+    def test_cached(self, catalog):
+        assert catalog.interval_distribution(3) is catalog.interval_distribution(3)
+
+    def test_heavy_tail_mean_exceeds_base(self, catalog):
+        assert catalog.mtbf(1) > catalog.base(1)
+
+    def test_samples_positive(self, catalog, rng):
+        s = catalog.interval_distribution(5).sample(rng, 1000)
+        assert np.all(s > 0)
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            PriorityFailureModel(base_mean=0.0)
+        with pytest.raises(ValueError):
+            PriorityFailureModel(frailty_sigma=-1.0)
+        with pytest.raises(ValueError):
+            PriorityFailureModel(priorities=())
+
+    def test_factory_forwards_params(self):
+        cat = google_like_catalog(base_mean=100.0, base_growth=2.0)
+        assert cat.base(1) == pytest.approx(100.0)
+        assert cat.base(2) == pytest.approx(200.0)

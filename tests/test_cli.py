@@ -1,0 +1,37 @@
+"""Tests for the ``repro-experiments`` CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "fig9" in out and "tab6" in out
+        assert len(out) >= 16
+
+    def test_no_args_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_runs_single_experiment(self, capsys):
+        assert main(["tab4"]) == 0
+        out = capsys.readouterr().out
+        assert "tab4" in out and "completed" in out
+
+    def test_forwards_n_jobs_override(self, capsys):
+        assert main(["fig8", "--n-jobs", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out
+
+    def test_n_jobs_ignored_for_calibration(self, capsys):
+        # tab4 takes no n_jobs parameter; the override must not break it.
+        assert main(["tab4", "--n-jobs", "10"]) == 0

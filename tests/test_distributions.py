@@ -1,0 +1,292 @@
+"""Unit tests for the failure-interval distribution families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.failures.distributions import (
+    Distribution,
+    Empirical,
+    Exponential,
+    Geometric,
+    Laplace,
+    LogNormal,
+    Mixture,
+    Normal,
+    Pareto,
+    Weibull,
+    distribution_from_name,
+)
+
+ALL = [
+    Exponential(0.01),
+    Pareto(100.0, 1.5),
+    Weibull(1.3, 500.0),
+    LogNormal(5.0, 1.0),
+    Normal(500.0, 100.0),
+    Laplace(500.0, 100.0),
+    Geometric(0.01),
+]
+
+
+@pytest.mark.parametrize("dist", ALL, ids=lambda d: d.name)
+class TestCommonContract:
+    def test_samples_positive(self, dist, rng):
+        samples = dist.sample(rng, 5000)
+        assert samples.shape == (5000,)
+        assert np.all(samples > 0)
+
+    def test_cdf_bounds_and_monotone(self, dist):
+        xs = np.linspace(0.0, 5000.0, 200)
+        cdf = dist.cdf(xs)
+        assert np.all(cdf >= -1e-12) and np.all(cdf <= 1 + 1e-12)
+        assert np.all(np.diff(cdf) >= -1e-12)
+
+    def test_pdf_non_negative(self, dist):
+        xs = np.linspace(0.0, 5000.0, 200)
+        assert np.all(dist.pdf(xs) >= 0)
+
+    def test_survival_complements_cdf(self, dist):
+        xs = np.array([10.0, 500.0, 2000.0])
+        np.testing.assert_allclose(dist.survival(xs), 1 - dist.cdf(xs))
+
+    def test_sample_mean_tracks_analytic_mean(self, dist, rng):
+        if not np.isfinite(dist.mean()):
+            pytest.skip("infinite mean")
+        samples = dist.sample(rng, 200_000)
+        if isinstance(dist, Pareto) and dist.alpha < 2:
+            pytest.skip("heavy tail: sample mean converges too slowly")
+        assert abs(np.mean(samples) - dist.mean()) / dist.mean() < 0.05
+
+    def test_repr_contains_params(self, dist):
+        r = repr(dist)
+        assert type(dist).__name__ in r
+
+    def test_loglik_finite_on_own_samples(self, dist, rng):
+        samples = dist.sample(rng, 500)
+        assert np.isfinite(dist.loglik(samples))
+
+    def test_aic_consistent_with_loglik(self, dist, rng):
+        samples = dist.sample(rng, 500)
+        assert dist.aic(samples) == pytest.approx(
+            2 * len(dist.params) - 2 * dist.loglik(samples)
+        )
+
+    def test_equality_and_hash(self, dist):
+        clone = type(dist)(**dist.params)
+        assert clone == dist
+        assert hash(clone) == hash(dist)
+
+
+class TestExponential:
+    def test_mean(self):
+        assert Exponential(0.01).mean() == pytest.approx(100.0)
+
+    def test_cdf_closed_form(self):
+        d = Exponential(0.5)
+        assert d.cdf(np.array([2.0]))[0] == pytest.approx(1 - np.exp(-1.0))
+
+    def test_fit_recovers_rate(self, rng):
+        data = Exponential(0.004).sample(rng, 100_000)
+        fitted = Exponential.fit(data)
+        assert fitted.lam == pytest.approx(0.004, rel=0.03)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+    def test_negative_x_zero(self):
+        d = Exponential(1.0)
+        assert d.cdf(np.array([-1.0]))[0] == 0.0
+        assert d.pdf(np.array([-1.0]))[0] == 0.0
+
+
+class TestPareto:
+    def test_support_starts_at_xm(self, rng):
+        d = Pareto(50.0, 2.0)
+        assert np.all(d.sample(rng, 10_000) >= 50.0)
+        assert d.cdf(np.array([49.0]))[0] == 0.0
+
+    def test_infinite_mean_below_one(self):
+        assert Pareto(10.0, 0.9).mean() == np.inf
+        assert np.isfinite(Pareto(10.0, 1.1).mean())
+
+    def test_mean_formula(self):
+        assert Pareto(10.0, 2.0).mean() == pytest.approx(20.0)
+
+    def test_fit_recovers_shape(self, rng):
+        data = Pareto(100.0, 1.4).sample(rng, 100_000)
+        fitted = Pareto.fit(data)
+        assert fitted.xm == pytest.approx(100.0, rel=0.01)
+        assert fitted.alpha == pytest.approx(1.4, rel=0.05)
+
+    def test_fit_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Pareto.fit([1.0, 0.0, 2.0])
+
+    def test_degenerate_fit(self):
+        fitted = Pareto.fit([5.0, 5.0, 5.0])
+        assert fitted.alpha > 1e5  # step tail
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Pareto(0.0, 1.0)
+        with pytest.raises(ValueError):
+            Pareto(1.0, -1.0)
+
+
+class TestWeibull:
+    def test_exponential_special_case(self):
+        w = Weibull(1.0, 100.0)
+        e = Exponential(0.01)
+        xs = np.linspace(1, 1000, 50)
+        np.testing.assert_allclose(w.cdf(xs), e.cdf(xs), atol=1e-10)
+
+    def test_fit_recovers_params(self, rng):
+        data = Weibull(1.7, 300.0).sample(rng, 50_000)
+        fitted = Weibull.fit(data)
+        assert fitted.k == pytest.approx(1.7, rel=0.05)
+        assert fitted.lam == pytest.approx(300.0, rel=0.05)
+
+    def test_mean_gamma_formula(self):
+        import math
+        w = Weibull(2.0, 100.0)
+        assert w.mean() == pytest.approx(100.0 * math.gamma(1.5))
+
+
+class TestLogNormal:
+    def test_fit_recovers_params(self, rng):
+        data = LogNormal(4.0, 0.8).sample(rng, 50_000)
+        fitted = LogNormal.fit(data)
+        assert fitted.mu == pytest.approx(4.0, abs=0.02)
+        assert fitted.sigma == pytest.approx(0.8, abs=0.02)
+
+    def test_mean_formula(self):
+        assert LogNormal(0.0, 1.0).mean() == pytest.approx(np.exp(0.5))
+
+    def test_fit_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            LogNormal.fit([-1.0, 2.0])
+
+
+class TestNormalLaplace:
+    def test_normal_fit(self, rng):
+        data = Normal(500.0, 50.0).sample(rng, 50_000)
+        fitted = Normal.fit(data)
+        assert fitted.mu == pytest.approx(500.0, rel=0.01)
+        assert fitted.sigma == pytest.approx(50.0, rel=0.05)
+
+    def test_normal_samples_clipped_positive(self, rng):
+        d = Normal(1.0, 100.0)  # would often go negative
+        assert np.all(d.sample(rng, 10_000) > 0)
+
+    def test_laplace_fit_uses_median(self, rng):
+        data = Laplace(300.0, 40.0).sample(rng, 50_000)
+        fitted = Laplace.fit(data)
+        assert fitted.mu == pytest.approx(300.0, rel=0.02)
+        assert fitted.b == pytest.approx(40.0, rel=0.1)
+
+    def test_laplace_cdf_continuous_at_mu(self):
+        d = Laplace(100.0, 10.0)
+        assert d.cdf(np.array([100.0]))[0] == pytest.approx(0.5)
+
+
+class TestGeometric:
+    def test_pmf_sums_to_one(self):
+        d = Geometric(0.3)
+        ks = np.arange(1, 200)
+        assert d.pdf(ks).sum() == pytest.approx(1.0, abs=1e-10)
+
+    def test_mean(self):
+        assert Geometric(0.25).mean() == pytest.approx(4.0)
+
+    def test_fit(self, rng):
+        data = Geometric(0.05).sample(rng, 100_000)
+        assert Geometric.fit(data).p == pytest.approx(0.05, rel=0.05)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Geometric(0.0)
+        with pytest.raises(ValueError):
+            Geometric(1.5)
+
+
+class TestMixture:
+    def test_weights_normalized(self):
+        m = Mixture([Exponential(1.0), Exponential(0.1)], [2.0, 2.0])
+        np.testing.assert_allclose(m.weights, [0.5, 0.5])
+
+    def test_mean_is_weighted(self):
+        m = Mixture([Exponential(0.01), Exponential(0.001)], [0.5, 0.5])
+        assert m.mean() == pytest.approx(0.5 * 100 + 0.5 * 1000)
+
+    def test_cdf_is_weighted(self):
+        a, b = Exponential(0.01), Exponential(0.1)
+        m = Mixture([a, b], [0.3, 0.7])
+        xs = np.array([10.0, 100.0])
+        np.testing.assert_allclose(m.cdf(xs), 0.3 * a.cdf(xs) + 0.7 * b.cdf(xs))
+
+    def test_sampling_mixes(self, rng):
+        m = Mixture([Exponential(1.0), Exponential(0.001)], [0.5, 0.5])
+        s = m.sample(rng, 20_000)
+        assert np.mean(s < 5) > 0.3  # body present
+        assert np.mean(s > 100) > 0.2  # tail present
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Mixture([], [])
+        with pytest.raises(ValueError):
+            Mixture([Exponential(1.0)], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            Mixture([Exponential(1.0)], [-1.0])
+
+
+class TestEmpirical:
+    def test_resamples_from_data(self, rng):
+        data = [1.0, 2.0, 3.0]
+        d = Empirical(data)
+        s = d.sample(rng, 1000)
+        assert set(np.unique(s)).issubset({1.0, 2.0, 3.0})
+
+    def test_cdf_is_ecdf(self):
+        d = Empirical([1.0, 2.0, 3.0, 4.0])
+        assert d.cdf(np.array([2.5]))[0] == pytest.approx(0.5)
+
+    def test_mean(self):
+        assert Empirical([2.0, 4.0]).mean() == pytest.approx(3.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Empirical([1.0, -2.0])
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        d = distribution_from_name("exponential", lam=0.01)
+        assert isinstance(d, Exponential)
+        assert d.mean() == pytest.approx(100.0)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            distribution_from_name("cauchy")
+
+    def test_all_families_registered(self):
+        for name in ("exponential", "pareto", "weibull", "lognormal",
+                     "normal", "laplace", "geometric"):
+            assert isinstance(
+                distribution_from_name(name, **_default_params(name)),
+                Distribution,
+            )
+
+
+def _default_params(name: str) -> dict:
+    return {
+        "exponential": {"lam": 1.0},
+        "pareto": {"xm": 1.0, "alpha": 2.0},
+        "weibull": {"k": 1.0, "lam": 1.0},
+        "lognormal": {"mu": 0.0, "sigma": 1.0},
+        "normal": {"mu": 1.0, "sigma": 1.0},
+        "laplace": {"mu": 1.0, "b": 1.0},
+        "geometric": {"p": 0.5},
+    }[name]

@@ -1,0 +1,175 @@
+"""Integration tests over the experiment harness.
+
+Each test asserts the *shape* the paper reports, on a reduced trace so
+the suite stays fast; the benchmark harness runs the full-size versions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+N_JOBS = 1200
+SEED = 2013
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _load():
+    get_experiment("fig4")  # force registration of all modules
+
+
+class TestRegistry:
+    def test_all_sixteen_artifacts_registered(self):
+        expected = {
+            "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "fig12", "fig13", "fig14", "tab2", "tab3", "tab4", "tab5",
+            "tab6", "tab7",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_report_renders(self):
+        rep = run_experiment("tab4")
+        text = rep.render()
+        assert "tab4" in text and "Checkpoint" in text
+
+
+class TestCalibrationExperiments:
+    def test_fig7_ranges(self):
+        rep = run_experiment("fig7")
+        lo, hi = rep.data["local_range"]
+        assert lo == pytest.approx(0.016)
+        assert hi == pytest.approx(0.99)
+        lo, hi = rep.data["nfs_range"]
+        assert lo == pytest.approx(0.25)
+        assert hi == pytest.approx(2.52)
+        # Linearity: cost at n=5 is 5x the cost at n=1.
+        series = rep.data["series"]
+        assert series["local_160MB"][4] == pytest.approx(
+            5 * series["local_160MB"][0]
+        )
+
+    def test_tab2_nfs_grows_local_flat(self):
+        rep = run_experiment("tab2")
+        assert rep.data["nfs_slope"] > 1.0  # ~1.8 s per extra writer
+        local = rep.data["local"]
+        assert max(local) == pytest.approx(min(local))
+
+    def test_tab3_dmnfs_stays_cheap(self):
+        rep = run_experiment("tab3")
+        stats = rep.data["stats"]
+        for deg in range(1, 6):
+            # Paper: DM-NFS average within 2 s at every parallel degree.
+            assert stats[deg]["avg"] < 2.0
+        # And far below plain NFS at degree 5 (~9 s).
+        assert stats[5]["avg"] < 3.0
+
+    def test_tab4_exact_at_knots(self):
+        rep = run_experiment("tab4")
+        for mem, t in rep.data["paper"].items():
+            assert rep.data["model"][mem] == pytest.approx(t)
+
+    def test_tab5_type_a_above_b(self):
+        rep = run_experiment("tab5")
+        for mem in rep.data["A"]:
+            assert rep.data["A"][mem] > rep.data["B"][mem]
+
+
+class TestTraceExperiments:
+    def test_fig4_priority_monotonicity(self):
+        rep = run_experiment("fig4", n_jobs=N_JOBS, seed=SEED)
+        med = rep.data["medians"]
+        low = [med[p] for p in range(1, 7) if p in med]
+        high = [med[p] for p in range(7, 13) if p in med]
+        # Shape: high-priority intervals are longer than low-priority.
+        assert min(high) > min(low)
+        assert sum(high) / len(high) > sum(low) / len(low)
+
+    def test_fig5_fit_ranking(self):
+        rep = run_experiment("fig5", n_jobs=N_JOBS, seed=SEED)
+        assert rep.data["best_all"] == "pareto"
+        assert rep.data["best_short"] == "exponential"
+        assert rep.data["frac_short"] > 0.5  # majority of intervals short
+        assert rep.data["lambda_short"] is not None
+
+    def test_fig8_short_small_jobs_dominate(self):
+        rep = run_experiment("fig8", n_jobs=N_JOBS, seed=SEED)
+        mix = rep.data["mix"]
+        assert mix["mem_median"] < 200.0
+        assert mix["len_median"] < 3600.0
+
+    def test_tab7_mtbf_inflates_mnof_stable(self):
+        rep = run_experiment("tab7", n_jobs=N_JOBS, seed=SEED)
+        mix = rep.data["mix"]
+        import math
+        for prio in (1, 2):
+            mnof_cap, mtbf_cap = mix[(prio, 1000.0)]
+            mnof_inf, mtbf_inf = mix[(prio, math.inf)]
+            # The paper's asymmetry: MTBF blows up when long tasks enter
+            # the window; MNOF moves by a small factor only.
+            assert mtbf_inf / mtbf_cap > 1.5
+            assert 0.5 < mnof_inf / mnof_cap < 2.0
+
+
+class TestPolicyExperiments:
+    def test_tab6_oracle_near_tie(self):
+        rep = run_experiment("tab6", n_jobs=N_JOBS, seed=SEED)
+        mix = rep.data["Mix"]
+        # Near-coincidence with precise prediction (paper: 0.949 vs 0.939).
+        assert abs(mix["formula3_avg"] - mix["young_avg"]) < 0.02
+        assert mix["formula3_avg"] > 0.9
+        assert mix["formula3_avg"] >= mix["young_avg"] - 1e-6
+
+    def test_fig9_formula3_beats_young(self):
+        rep = run_experiment("fig9", n_jobs=N_JOBS, seed=SEED)
+        for label in ("ST", "BoT"):
+            gap = rep.data[f"{label}_f3_avg"] - rep.data[f"{label}_young_avg"]
+            assert gap > 0.01, label  # paper: 3-10 percent
+            assert rep.data[f"{label}_f3_below088"] < rep.data[
+                f"{label}_young_below088"
+            ]
+            assert rep.data[f"{label}_f3_above095"] > rep.data[
+                f"{label}_young_above095"
+            ]
+
+    def test_fig10_improvement_at_most_priorities(self):
+        rep = run_experiment("fig10", n_jobs=N_JOBS, seed=SEED)
+        per = rep.data["per_priority"]
+        wins = sum(
+            1 for d in per.values() if d["n"] >= 10 and d["f3_avg"] >= d["young_avg"]
+        )
+        total = sum(1 for d in per.values() if d["n"] >= 10)
+        assert wins / total >= 0.8
+        assert rep.data["mean_improvement"] > 0.01
+
+    def test_fig11_gap_survives_capped_estimation(self):
+        rep = run_experiment("fig11", n_jobs=N_JOBS, seed=SEED)
+        for rl in (1000, 2000, 4000):
+            f3 = rep.data[f"rl{rl}_formula3_above09"]
+            yg = rep.data[f"rl{rl}_young_above09"]
+            assert f3 > yg, rl
+
+    def test_fig12_young_wallclocks_longer(self):
+        rep = run_experiment("fig12", n_jobs=N_JOBS, seed=SEED)
+        assert rep.data["rl1000_mean_delta"] > 0
+        assert rep.data["rl4000_mean_delta"] > 0
+
+    def test_fig13_majority_faster_under_formula3(self):
+        rep = run_experiment("fig13", n_jobs=N_JOBS, seed=SEED)
+        # Paper: ~70% faster under formula (3), ~30% under Young.
+        assert rep.data["frac_f3_faster"] > 0.55
+        assert rep.data["frac_f3_faster"] > rep.data["frac_young_faster"]
+        assert rep.data["mean_speedup"] > rep.data["mean_slowdown"]
+
+
+class TestDynamicExperiment:
+    def test_fig14_dynamic_dominates_static(self):
+        rep = run_experiment("fig14", n_jobs=600, seed=SEED)
+        assert rep.data["dynamic_avg_wpr"] > rep.data["static_avg_wpr"]
+        assert rep.data["dynamic_worst_wpr"] > rep.data["static_worst_wpr"]
+        # Most jobs are unaffected by the priority change (paper: 67%).
+        assert rep.data["frac_similar"] > 0.4

@@ -1,0 +1,112 @@
+"""Unit tests for MLE fitting and model ranking (Fig. 5 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.failures.distributions import Exponential, Pareto
+from repro.failures.fitting import (
+    ALL_FAMILIES,
+    PAPER_FAMILIES,
+    ad_statistic,
+    best_fit,
+    fit_all,
+    ks_statistic,
+)
+
+
+class TestKSStatistic:
+    def test_perfect_fit_small(self, rng):
+        d = Exponential(0.01)
+        data = d.sample(rng, 20_000)
+        assert ks_statistic(d, data) < 0.02
+
+    def test_wrong_model_large(self, rng):
+        data = Pareto(100.0, 1.2).sample(rng, 20_000)
+        assert ks_statistic(Exponential(0.001), data) > 0.2
+
+    def test_known_value_single_point(self):
+        # One sample at the median: KS = 0.5 exactly.
+        d = Exponential(1.0)
+        median = np.log(2.0)
+        assert ks_statistic(d, np.array([median])) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_statistic(Exponential(1.0), np.array([]))
+
+
+class TestADStatistic:
+    def test_small_for_true_model(self, rng):
+        d = Exponential(0.01)
+        data = d.sample(rng, 5000)
+        # Critical value at 5% significance is ~2.49; the true model
+        # should sit well below.
+        assert ad_statistic(d, data) < 4.0
+
+    def test_large_for_wrong_model(self, rng):
+        data = Pareto(100.0, 1.2).sample(rng, 5000)
+        assert ad_statistic(Exponential(0.001), data) > 100.0
+
+    def test_discriminates_like_ks(self, rng):
+        data = Pareto(50.0, 1.3).sample(rng, 10_000)
+        good = Pareto.fit(data)
+        bad = Exponential.fit(data)
+        assert ad_statistic(good, data) < ad_statistic(bad, data)
+        assert ks_statistic(good, data) < ks_statistic(bad, data)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ad_statistic(Exponential(1.0), np.array([]))
+
+
+class TestFitAll:
+    def test_exponential_data_ranks_exponential_first(self, rng):
+        data = Exponential(0.004).sample(rng, 30_000)
+        results = fit_all(data)
+        assert results[0].family == "exponential"
+
+    def test_pareto_data_ranks_pareto_first(self, rng):
+        data = Pareto(50.0, 1.3).sample(rng, 30_000)
+        results = fit_all(data)
+        assert results[0].family == "pareto"
+
+    def test_all_paper_families_attempted(self, rng):
+        data = Exponential(0.01).sample(rng, 1000)
+        results = fit_all(data)
+        assert {r.family for r in results} == {f.name for f in PAPER_FAMILIES}
+
+    def test_ranking_sorted_by_ks(self, rng):
+        data = Exponential(0.01).sample(rng, 1000)
+        results = fit_all(data)
+        oks = [r.ks for r in results if r.ok]
+        assert oks == sorted(oks)
+
+    def test_extended_catalog(self, rng):
+        data = Exponential(0.01).sample(rng, 1000)
+        results = fit_all(data, ALL_FAMILIES)
+        assert {r.family for r in results} >= {"weibull", "lognormal"}
+
+    def test_failures_reported_not_raised(self):
+        # Pareto/lognormal MLE cannot handle zeros; they must be flagged.
+        data = np.array([0.0, 1.0, 2.0, 3.0] * 50)
+        results = fit_all(data, ALL_FAMILIES)
+        bad = {r.family for r in results if not r.ok}
+        assert "pareto" in bad
+        assert all(r.ok or r.ks == np.inf for r in results)
+        # Failed fits sort last.
+        assert all(r.ok for r in results[: len(results) - len(bad)])
+
+
+class TestBestFit:
+    def test_returns_first_ok(self, rng):
+        data = Exponential(0.01).sample(rng, 5000)
+        res = best_fit(data)
+        assert res.ok
+        assert res.family == "exponential"
+
+    def test_raises_when_nothing_fits(self):
+        # Pareto MLE rejects zeros, and it is the only candidate here.
+        with pytest.raises(ValueError):
+            best_fit(np.array([0.0, 1.0]), families=(Pareto,))

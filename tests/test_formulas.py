@@ -1,0 +1,157 @@
+"""Unit tests for the Theorem 1 / Eq. 4 formulas and baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.formulas import (
+    daly_interval,
+    expected_failures_exponential,
+    expected_wallclock,
+    interval_to_count,
+    optimal_expected_wallclock,
+    optimal_interval_count,
+    optimal_interval_count_int,
+    young_interval,
+)
+
+
+class TestTheorem1:
+    def test_paper_worked_example(self):
+        # Te = 18 s, C = 2 s, E(Y) = 2  =>  x* = 3 (checkpoint every 6 s)
+        assert optimal_interval_count(18.0, 2.0, 2.0) == pytest.approx(3.0)
+
+    def test_formula_matches_sqrt(self):
+        te, mnof, c = 441.0, 2.0, 1.0
+        assert optimal_interval_count(te, mnof, c) == pytest.approx(
+            np.sqrt(te * mnof / (2 * c))
+        )
+        # §4.2.2 example: 21 intervals => 20 checkpoints
+        assert round(optimal_interval_count(te, mnof, c)) - 1 == 20
+
+    def test_zero_failures_means_one_interval(self):
+        assert optimal_interval_count(100.0, 0.0, 1.0) == 0.0
+        assert optimal_interval_count_int(100.0, 0.0, 1.0) == 1
+
+    def test_scaling_with_te(self):
+        x1 = optimal_interval_count(100.0, 2.0, 1.0)
+        x2 = optimal_interval_count(400.0, 2.0, 1.0)
+        assert x2 == pytest.approx(2 * x1)
+
+    def test_scaling_with_cost(self):
+        x1 = optimal_interval_count(100.0, 2.0, 1.0)
+        x2 = optimal_interval_count(100.0, 2.0, 4.0)
+        assert x2 == pytest.approx(x1 / 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_interval_count(-1.0, 2.0, 1.0)
+        with pytest.raises(ValueError):
+            optimal_interval_count(1.0, -2.0, 1.0)
+        with pytest.raises(ValueError):
+            optimal_interval_count(1.0, 2.0, 0.0)
+
+    def test_vectorized(self):
+        te = np.array([18.0, 72.0])
+        out = optimal_interval_count(te, 2.0, 2.0)
+        np.testing.assert_allclose(out, [3.0, 6.0])
+
+
+class TestIntegerOptimum:
+    def test_picks_best_neighbor(self):
+        # For any instance, the integer result must beat both neighbors.
+        te, mnof, c, r = 350.0, 1.7, 0.8, 1.0
+        x = optimal_interval_count_int(te, mnof, c, r)
+        best = expected_wallclock(te, x, c, r, mnof)
+        for other in (x - 1, x + 1):
+            if other >= 1:
+                assert best <= expected_wallclock(te, other, c, r, mnof) + 1e-9
+
+    def test_at_least_one(self):
+        assert optimal_interval_count_int(10.0, 0.001, 100.0) == 1
+
+    def test_scalar_returns_int(self):
+        assert isinstance(optimal_interval_count_int(18.0, 2.0, 2.0), int)
+
+    def test_array_returns_array(self):
+        out = optimal_interval_count_int(np.array([18.0, 72.0]), 2.0, 2.0)
+        assert out.dtype == np.int64
+        np.testing.assert_array_equal(out, [3, 6])
+
+
+class TestEq4:
+    def test_components(self):
+        # Eq 4: Te + C(x-1) + R*E(Y) + Te*E(Y)/(2x)
+        val = expected_wallclock(te=100.0, x=4, c=2.0, r=3.0, mnof=1.5)
+        assert val == pytest.approx(100 + 2 * 3 + 3 * 1.5 + 100 * 1.5 / 8)
+
+    def test_no_failures_no_rollback(self):
+        assert expected_wallclock(100.0, 5, 2.0, 3.0, 0.0) == pytest.approx(108.0)
+
+    def test_convex_in_x(self):
+        xs = np.arange(1, 50, dtype=float)
+        vals = expected_wallclock(500.0, xs, 1.0, 1.0, 3.0)
+        second_diff = np.diff(vals, 2)
+        assert np.all(second_diff >= -1e-9)
+
+    def test_minimum_at_xstar(self):
+        te, mnof, c = 500.0, 3.0, 1.0
+        xstar = optimal_interval_count(te, mnof, c)
+        v_star = expected_wallclock(te, xstar, c, 0.0, mnof)
+        for x in (xstar * 0.5, xstar * 2.0):
+            assert v_star < expected_wallclock(te, x, c, 0.0, mnof)
+
+    def test_optimal_expected_wallclock_closed_form(self):
+        te, mnof, c, r = 500.0, 3.0, 1.0, 2.0
+        xstar = optimal_interval_count(te, mnof, c)
+        direct = expected_wallclock(te, xstar, c, r, mnof)
+        assert optimal_expected_wallclock(te, mnof, c, r) == pytest.approx(direct)
+
+
+class TestYoungAndDaly:
+    def test_young_formula(self):
+        assert young_interval(2.0, 236.0) == pytest.approx(np.sqrt(2 * 2 * 236))
+
+    def test_paper_young_example(self):
+        # C = 2 s, lambda = 0.00423445  =>  Tc ≈ 30.7 s
+        tc = young_interval(2.0, 1 / 0.00423445)
+        assert tc == pytest.approx(30.7, abs=0.1)
+
+    def test_corollary1_consistency(self):
+        # With E(Y) = Te/Tf the two formulas give the same interval.
+        te, c, tf = 1000.0, 2.0, 236.0
+        x = optimal_interval_count(te, te / tf, c)
+        np.testing.assert_allclose(te / x, young_interval(c, tf))
+
+    def test_daly_close_to_young_when_c_small(self):
+        c, m = 0.1, 10_000.0
+        assert daly_interval(c, m) == pytest.approx(
+            float(young_interval(c, m)), rel=0.01
+        )
+
+    def test_daly_caps_at_mtbf(self):
+        assert daly_interval(100.0, 10.0) == 10.0
+
+    def test_daly_below_young_for_moderate_c(self):
+        # The -C correction dominates the series terms.
+        assert daly_interval(5.0, 100.0) < float(young_interval(5.0, 100.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            young_interval(0.0, 100.0)
+        with pytest.raises(ValueError):
+            daly_interval(1.0, -5.0)
+
+
+class TestHelpers:
+    def test_interval_to_count_rounding(self):
+        assert interval_to_count(100.0, 30.0) == 3
+        assert interval_to_count(100.0, 1000.0) == 1  # floor at 1
+
+    def test_interval_to_count_vectorized(self):
+        out = interval_to_count(np.array([100.0, 300.0]), 30.0)
+        np.testing.assert_array_equal(out, [3, 10])
+
+    def test_expected_failures_exponential(self):
+        assert expected_failures_exponential(1000.0, 250.0) == pytest.approx(4.0)

@@ -1,0 +1,83 @@
+"""Tests for host-failure injection and checkpoint-loss semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import CloudPlatform, ClusterConfig
+from repro.core.policies import FixedCountPolicy, NoCheckpointPolicy
+from repro.trace.models import Job, JobType, Task, Trace
+
+
+def _bot_trace(n_tasks=10, te=2000.0):
+    tasks = tuple(
+        Task(task_id=k, job_id=0, index=k, te=te, mem_mb=100.0,
+             priority=1, interval_scale=1e9)
+        for k in range(n_tasks)
+    )
+    return Trace((Job(job_id=0, job_type=JobType.BAG_OF_TASKS,
+                      submit_time=0.0, tasks=tasks),))
+
+
+class TestHostFailureConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(host_mtbf=0.0)
+        with pytest.raises(ValueError):
+            ClusterConfig(host_repair_time=-1.0)
+
+    def test_default_no_host_failures(self):
+        assert ClusterConfig().host_mtbf is None
+
+
+class TestHostFailures:
+    def test_tasks_survive_host_crashes(self):
+        cfg = ClusterConfig(n_hosts=4, host_mtbf=2500.0,
+                            host_repair_time=50.0, storage="dmnfs")
+        res = CloudPlatform(cfg, seed=5).run_trace(
+            _bot_trace(), FixedCountPolicy(10)
+        )
+        recs = res.jobs[0].tasks
+        assert all(t.completed for t in recs)
+        # With 10 x 2000 s of work and a 2500 s per-host MTBF, crashes
+        # must have struck at least one task.
+        assert sum(t.n_failures for t in recs) > 0
+
+    def test_local_checkpoints_lost_on_host_death(self):
+        """The §1 reliability argument: under host crashes, shared-disk
+        checkpointing beats local ramdisks because local checkpoints die
+        with the host."""
+        results = {}
+        for storage in ("local", "dmnfs"):
+            cfg = ClusterConfig(n_hosts=4, host_mtbf=3000.0,
+                                host_repair_time=60.0, storage=storage)
+            res = CloudPlatform(cfg, seed=5).run_trace(
+                _bot_trace(), FixedCountPolicy(10)
+            )
+            results[storage] = res.mean_wpr()
+        assert results["dmnfs"] > results["local"]
+
+    def test_crash_counters(self):
+        cfg = ClusterConfig(n_hosts=2, host_mtbf=1000.0,
+                            host_repair_time=10.0, storage="dmnfs")
+        plat = CloudPlatform(cfg, seed=1)
+        res = plat.run_trace(_bot_trace(n_tasks=4, te=3000.0),
+                             NoCheckpointPolicy())
+        assert all(t.completed for t in res.jobs[0].tasks)
+
+    def test_no_mtbf_means_no_crashes(self):
+        cfg = ClusterConfig(n_hosts=2, storage="dmnfs")
+        res = CloudPlatform(cfg, seed=1).run_trace(
+            _bot_trace(n_tasks=4, te=500.0), NoCheckpointPolicy()
+        )
+        assert all(t.n_failures == 0 for t in res.jobs[0].tasks)
+
+    def test_deterministic(self):
+        cfg = ClusterConfig(n_hosts=4, host_mtbf=2500.0,
+                            host_repair_time=50.0, storage="dmnfs")
+        r1 = CloudPlatform(cfg, seed=5).run_trace(
+            _bot_trace(), FixedCountPolicy(10))
+        r2 = CloudPlatform(cfg, seed=5).run_trace(
+            _bot_trace(), FixedCountPolicy(10))
+        assert r1.mean_wpr() == r2.mean_wpr()
+        assert r1.makespan == r2.makespan

@@ -1,0 +1,138 @@
+"""Unit tests for the workload-prediction module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.prediction.history import HistoryPredictor
+from repro.prediction.metrics import prediction_report
+from repro.prediction.polynomial import PolynomialRegressionPredictor
+
+
+class TestPolynomialRegression:
+    def _quadratic_data(self, rng, n=800):
+        X = rng.uniform(0.5, 5.0, size=(n, 3))
+        # te depends on x0 and x1^2 only; x2 is a distractor.
+        y = 50.0 + 30.0 * X[:, 0] + 12.0 * X[:, 1] ** 2
+        y = y + rng.normal(0.0, 1.0, n)
+        return X, y
+
+    def test_recovers_quadratic_relation(self, rng):
+        X, y = self._quadratic_data(rng)
+        pred = PolynomialRegressionPredictor(degree=2, max_terms=6).fit(X, y)
+        Xt, yt = self._quadratic_data(rng, 200)
+        rep = prediction_report(pred.predict(Xt), yt)
+        assert rep.mape < 0.05
+
+    def test_sparse_selection_prefers_true_terms(self, rng):
+        X, y = self._quadratic_data(rng)
+        pred = PolynomialRegressionPredictor(degree=2, max_terms=4).fit(X, y)
+        terms = pred.selected_terms
+        assert () in terms  # bias always kept
+        assert (1, 1) in terms  # the x1^2 term carries most signal
+
+    def test_linear_exact(self, rng):
+        X = rng.uniform(1, 10, size=(200, 2))
+        y = 5.0 + 2.0 * X[:, 0] + 3.0 * X[:, 1]
+        pred = PolynomialRegressionPredictor(degree=1, max_terms=3).fit(X, y)
+        np.testing.assert_allclose(pred.predict(X), y, rtol=1e-6)
+
+    def test_predictions_positive(self, rng):
+        X = rng.uniform(0, 1, size=(50, 1))
+        y = np.full(50, 1e-3)
+        pred = PolynomialRegressionPredictor(degree=1).fit(X, y)
+        assert np.all(pred.predict(np.array([[1e6]])) > 0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PolynomialRegressionPredictor().predict([[1.0]])
+        with pytest.raises(RuntimeError):
+            _ = PolynomialRegressionPredictor().selected_terms
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            PolynomialRegressionPredictor(degree=0)
+        with pytest.raises(ValueError):
+            PolynomialRegressionPredictor(max_terms=0)
+        with pytest.raises(ValueError):
+            PolynomialRegressionPredictor(ridge=-1.0)
+        p = PolynomialRegressionPredictor()
+        with pytest.raises(ValueError):
+            p.fit([[1.0], [2.0]], [1.0])  # length mismatch
+        with pytest.raises(ValueError):
+            p.fit([[1.0], [2.0]], [1.0, -2.0])  # nonpositive length
+        with pytest.raises(ValueError):
+            p.fit([[1.0]], [1.0])  # too few samples
+
+
+class TestHistoryPredictor:
+    def test_running_mean(self):
+        hp = HistoryPredictor(mode="mean")
+        hp.observe("svc-a", 100.0)
+        hp.observe("svc-a", 300.0)
+        assert hp.predict("svc-a") == 200.0
+        assert hp.n_observations("svc-a") == 2
+
+    def test_ewma_recency(self):
+        hp = HistoryPredictor(mode="ewma", alpha=0.5)
+        hp.observe("k", 100.0)
+        hp.observe("k", 200.0)
+        assert hp.predict("k") == pytest.approx(150.0)
+
+    def test_quantile_mode_overpredicts(self):
+        hp = HistoryPredictor(mode="quantile", q=0.75)
+        for v in (10.0, 20.0, 30.0, 40.0):
+            hp.observe("k", v)
+        assert hp.predict("k") > 25.0  # above the median
+
+    def test_unseen_key_falls_back_to_global_mean(self):
+        hp = HistoryPredictor()
+        hp.observe("a", 100.0)
+        hp.observe("b", 300.0)
+        assert hp.predict("zzz") == 200.0
+
+    def test_unseen_key_uses_default(self):
+        hp = HistoryPredictor(default=42.0)
+        assert hp.predict("anything") == 42.0
+
+    def test_unseen_key_no_data_raises(self):
+        hp = HistoryPredictor()
+        with pytest.raises(KeyError):
+            hp.predict("k")
+
+    def test_predict_many(self):
+        hp = HistoryPredictor()
+        hp.observe("a", 10.0)
+        hp.observe("b", 30.0)
+        np.testing.assert_allclose(hp.predict_many(["a", "b"]), [10.0, 30.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HistoryPredictor(mode="magic")
+        with pytest.raises(ValueError):
+            HistoryPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            HistoryPredictor(q=2.0)
+        hp = HistoryPredictor()
+        with pytest.raises(ValueError):
+            hp.observe("k", 0.0)
+
+
+class TestPredictionReport:
+    def test_known_values(self):
+        rep = prediction_report([110.0, 90.0], [100.0, 100.0])
+        assert rep.n == 2
+        assert rep.mape == pytest.approx(0.1)
+        assert rep.bias == pytest.approx(0.0)
+        assert rep.over_fraction == pytest.approx(0.5)
+        assert rep.rmse == pytest.approx(10.0)
+        assert "MAPE" in str(rep)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            prediction_report([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            prediction_report([], [])
+        with pytest.raises(ValueError):
+            prediction_report([1.0], [0.0])

@@ -1,0 +1,443 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Resource,
+    SimulationError,
+    Store,
+    Timeout,
+)
+
+
+class TestEnvironmentBasics:
+    def test_initial_time(self):
+        assert Environment().now == 0.0
+        assert Environment(5.0).now == 5.0
+
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        env.timeout(3.0)
+        env.run()
+        assert env.now == 3.0
+
+    def test_timeout_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_run_until_time_stops_exactly(self):
+        env = Environment()
+        fired = []
+        env.process(iter_fire(env, fired, [1.0, 2.0, 5.0]))
+        env.run(until=3.0)
+        assert fired == [1.0, 2.0]
+        assert env.now == 3.0
+
+    def test_run_until_past_raises(self):
+        env = Environment()
+        env.timeout(1.0)
+        env.run()
+        with pytest.raises(ValueError):
+            env.run(until=0.5)
+
+    def test_peek_empty_is_inf(self):
+        assert Environment().peek() == float("inf")
+
+    def test_step_empty_raises(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+    def test_same_time_events_fifo(self):
+        env = Environment()
+        order = []
+
+        def proc(tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        env.process(proc("a"))
+        env.process(proc("b"))
+        env.process(proc("c"))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+def iter_fire(env, sink, delays):
+    last = 0.0
+    for d in delays:
+        yield env.timeout(d - last)
+        last = d
+        sink.append(env.now)
+
+
+class TestEvents:
+    def test_succeed_carries_value(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed(42)
+        results = []
+
+        def proc():
+            results.append((yield ev))
+
+        env.process(proc())
+        env.run()
+        assert results == [42]
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError("x"))
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")  # type: ignore[arg-type]
+
+    def test_failed_event_raises_in_process(self):
+        env = Environment()
+        ev = env.event()
+        ev.fail(RuntimeError("boom"))
+        caught = []
+
+        def proc():
+            try:
+                yield ev
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        env.process(proc())
+        env.run()
+        assert caught == ["boom"]
+
+    def test_unhandled_failed_event_surfaces(self):
+        env = Environment()
+        ev = env.event()
+        ev.fail(RuntimeError("unseen"))
+        with pytest.raises(RuntimeError, match="unseen"):
+            env.run()
+
+    def test_run_until_event_returns_value(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(2.0)
+            return "done"
+
+        p = env.process(proc())
+        assert env.run(until=p) == "done"
+        assert env.now == 2.0
+
+    def test_run_until_event_that_never_fires(self):
+        env = Environment()
+        ev = env.event()
+        env.timeout(1.0)
+        with pytest.raises(SimulationError):
+            env.run(until=ev)
+
+
+class TestProcesses:
+    def test_return_value_is_event_value(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(1.0)
+            return 7
+
+        def parent(sink):
+            val = yield env.process(child())
+            sink.append(val)
+
+        sink = []
+        env.process(parent(sink))
+        env.run()
+        assert sink == [7]
+
+    def test_yield_non_event_errors(self):
+        env = Environment()
+
+        def bad():
+            yield 42
+
+        env.process(bad())
+        # Nobody waits on the failed process, so the error surfaces at run.
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_interrupt_delivers_cause(self):
+        env = Environment()
+        causes = []
+
+        def victim():
+            try:
+                yield env.timeout(10.0)
+            except Interrupt as i:
+                causes.append((i.cause, env.now))
+
+        def attacker(v):
+            yield env.timeout(1.0)
+            v.interrupt("failure-x")
+
+        v = env.process(victim())
+        env.process(attacker(v))
+        env.run()
+        # Interrupt delivered at t=1 (the victim's own timeout still
+        # drains the queue afterwards, so final env.now is 10).
+        assert causes == [("failure-x", 1.0)]
+
+    def test_interrupt_dead_process_is_noop(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(0.5)
+
+        p = env.process(quick())
+        env.run()
+        assert not p.is_alive
+        p.interrupt()  # must not raise
+
+    def test_uncaught_interrupt_terminates_process(self):
+        env = Environment()
+
+        def victim():
+            yield env.timeout(10.0)
+
+        def attacker(v):
+            yield env.timeout(1.0)
+            v.interrupt()
+
+        v = env.process(victim())
+        env.process(attacker(v))
+        env.run()
+        assert not v.is_alive
+        assert v.value is None
+
+    def test_process_exception_propagates_to_waiter(self):
+        env = Environment()
+
+        def fails():
+            yield env.timeout(1.0)
+            raise ValueError("inner")
+
+        def waiter(sink):
+            try:
+                yield env.process(fails())
+            except ValueError as exc:
+                sink.append(str(exc))
+
+        sink = []
+        env.process(waiter(sink))
+        env.run()
+        assert sink == ["inner"]
+
+    def test_immediately_processed_event_resumes_inline(self):
+        env = Environment()
+        seen = []
+
+        def proc():
+            ev = env.event()
+            ev.succeed("x")
+            yield env.timeout(1.0)  # let ev be processed
+            val = yield ev  # already processed: resumes inline
+            seen.append(val)
+
+        env.process(proc())
+        env.run()
+        assert seen == ["x"]
+
+
+class TestConditions:
+    def test_any_of_first_wins(self):
+        env = Environment()
+        results = []
+
+        def proc():
+            t1 = env.timeout(1.0, "fast")
+            t2 = env.timeout(5.0, "slow")
+            res = yield (t1 | t2)
+            results.append(res)
+
+        env.process(proc())
+        env.run()
+        assert env.now == 5.0  # t2 still fires later
+        (res,) = results
+        assert list(res.values()) == ["fast"]
+
+    def test_all_of_waits_for_everything(self):
+        env = Environment()
+        at = []
+
+        def proc():
+            t1 = env.timeout(1.0)
+            t2 = env.timeout(4.0)
+            yield (t1 & t2)
+            at.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert at == [4.0]
+
+    def test_all_of_empty_triggers_immediately(self):
+        env = Environment()
+        cond = AllOf(env, [])
+        assert cond.triggered
+
+    def test_any_of_helper(self):
+        env = Environment()
+        cond = env.any_of([env.timeout(1.0), env.timeout(2.0)])
+        assert isinstance(cond, AnyOf)
+
+    def test_mixed_environment_rejected(self):
+        env1, env2 = Environment(), Environment()
+        with pytest.raises(SimulationError):
+            AllOf(env1, [env1.timeout(1.0), env2.timeout(1.0)])
+
+
+class TestResource:
+    def test_capacity_enforced(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        held_at = {}
+
+        def proc(tag, hold):
+            req = res.request()
+            yield req
+            held_at[tag] = env.now
+            yield env.timeout(hold)
+            res.release(req)
+
+        env.process(proc("a", 2.0))
+        env.process(proc("b", 2.0))
+        env.process(proc("c", 1.0))
+        env.run()
+        assert held_at["a"] == 0.0
+        assert held_at["b"] == 0.0
+        assert held_at["c"] == 2.0  # waits for a slot
+
+    def test_fifo_order(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        def proc(tag):
+            req = res.request()
+            yield req
+            order.append(tag)
+            yield env.timeout(1.0)
+            res.release(req)
+
+        for tag in "abcd":
+            env.process(proc(tag))
+        env.run()
+        assert order == list("abcd")
+
+    def test_release_idempotent(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        req = res.request()
+        env.run()
+        res.release(req)
+        res.release(req)  # second release is a no-op
+        assert res.count == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Environment(), capacity=0)
+
+    def test_queue_length_and_count(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        r1 = res.request()
+        res.request()
+        assert res.count == 1
+        assert res.queue_length == 1
+        res.release(r1)
+        assert res.count == 1  # second request granted
+        assert res.queue_length == 0
+
+    def test_context_manager_releases(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def proc():
+            with res.request() as req:
+                yield req
+                yield env.timeout(1.0)
+
+        env.process(proc())
+        env.run()
+        assert res.count == 0
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        store.put("x")
+        got = []
+
+        def proc():
+            got.append((yield store.get()))
+
+        env.process(proc())
+        env.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got_at = []
+
+        def getter():
+            yield store.get()
+            got_at.append(env.now)
+
+        def putter():
+            yield env.timeout(3.0)
+            store.put("item")
+
+        env.process(getter())
+        env.process(putter())
+        env.run()
+        assert got_at == [3.0]
+
+    def test_fifo_items_and_getters(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def getter(tag):
+            item = yield store.get()
+            got.append((tag, item))
+
+        env.process(getter("g1"))
+        env.process(getter("g2"))
+
+        def putter():
+            yield env.timeout(1.0)
+            store.put("first")
+            store.put("second")
+
+        env.process(putter())
+        env.run()
+        assert got == [("g1", "first"), ("g2", "second")]
+
+    def test_len_and_items(self):
+        env = Environment()
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        assert store.items == (1, 2)

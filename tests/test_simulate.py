@@ -1,0 +1,247 @@
+"""Unit tests for the Monte-Carlo execution tier.
+
+The scalar reference (:func:`simulate_task`), the vectorized batch
+(:func:`simulate_tasks`), and the replay batch must agree exactly for
+identical failure sequences — these tests pin that contract plus the
+closed-form arithmetic of the execution model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.simulate import (
+    _Grid,
+    simulate_task,
+    simulate_task_two_phase,
+    simulate_tasks,
+    simulate_tasks_replay,
+)
+from repro.failures.distributions import Exponential
+from repro.failures.injector import FailureInjector, TraceReplayInjector
+
+
+class TestScalarNoFailures:
+    def test_wallclock_is_te_plus_checkpoints(self):
+        out = simulate_task(100.0, 4, 2.0, 1.0, TraceReplayInjector([]))
+        # 4 intervals -> 3 checkpoints of 2 s each.
+        assert out.wallclock == pytest.approx(100.0 + 3 * 2.0)
+        assert out.completed
+        assert out.n_failures == 0
+        assert out.n_checkpoints == 3
+
+    def test_single_interval_no_overhead(self):
+        out = simulate_task(50.0, 1, 2.0, 1.0, TraceReplayInjector([]))
+        assert out.wallclock == pytest.approx(50.0)
+
+    def test_wpr(self):
+        out = simulate_task(100.0, 4, 2.0, 1.0, TraceReplayInjector([]))
+        assert out.wpr == pytest.approx(100.0 / 106.0)
+
+
+class TestScalarWithFailures:
+    def test_exact_rollback_arithmetic(self):
+        """te=100, x=4 (L=25, C=2, cycle=27).  One failure at uptime 30:
+        one checkpoint committed (27 s), 3 s into interval 2 lost;
+        restart costs R=5.  Then run to completion from checkpoint 1:
+        2 cycles (54) + final 25."""
+        inj = TraceReplayInjector([30.0])
+        out = simulate_task(100.0, 4, 2.0, 5.0, inj)
+        assert out.n_failures == 1
+        assert out.wallclock == pytest.approx(30.0 + 5.0 + 2 * 27.0 + 25.0)
+        assert out.completed
+
+    def test_failure_before_first_checkpoint_loses_everything(self):
+        inj = TraceReplayInjector([20.0])
+        out = simulate_task(100.0, 4, 2.0, 5.0, inj)
+        # 20 s lost + R, then full clean run: 3 cycles + final 25.
+        assert out.wallclock == pytest.approx(20.0 + 5.0 + 3 * 27.0 + 25.0)
+
+    def test_failure_in_final_stretch(self):
+        # All checkpoints committed at 3*27=81; failure at 100 is 19 s
+        # into the final run; resume from checkpoint 3: final 25 s.
+        inj = TraceReplayInjector([100.0])
+        out = simulate_task(100.0, 4, 2.0, 5.0, inj)
+        assert out.wallclock == pytest.approx(100.0 + 5.0 + 25.0)
+
+    def test_no_checkpoints_restart_from_scratch(self):
+        inj = TraceReplayInjector([40.0, 70.0])
+        out = simulate_task(100.0, 1, 2.0, 3.0, inj)
+        assert out.wallclock == pytest.approx(40 + 3 + 70 + 3 + 100)
+        assert out.n_failures == 2
+
+    def test_restart_delay_added(self):
+        inj = TraceReplayInjector([30.0])
+        base = simulate_task(100.0, 4, 2.0, 5.0, TraceReplayInjector([30.0]))
+        delayed = simulate_task(100.0, 4, 2.0, 5.0, inj, restart_delay=7.0)
+        assert delayed.wallclock == pytest.approx(base.wallclock + 7.0)
+
+    def test_max_segments_abandons(self):
+        inj = FailureInjector(Exponential(10.0), np.random.default_rng(0))
+        out = simulate_task(1000.0, 2, 1.0, 1.0, inj, max_segments=5)
+        assert not out.completed
+        assert out.n_failures == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_task(0.0, 1, 1.0, 1.0, TraceReplayInjector([]))
+        with pytest.raises(ValueError):
+            simulate_task(1.0, 0, 1.0, 1.0, TraceReplayInjector([]))
+        with pytest.raises(ValueError):
+            simulate_task(1.0, 1, -1.0, 1.0, TraceReplayInjector([]))
+
+
+class TestVectorizedAgreement:
+    def test_replay_matches_scalar(self, rng):
+        n = 200
+        te = rng.uniform(50, 1000, n)
+        x = rng.integers(1, 12, n)
+        c = rng.uniform(0.1, 3.0, n)
+        r = rng.uniform(0.1, 5.0, n)
+        max_f = 6
+        mat = np.full((n, max_f), np.inf)
+        for i in range(n):
+            k = int(rng.integers(0, max_f))
+            mat[i, :k] = rng.uniform(5, 500, k)
+        batch = simulate_tasks_replay(te, x, c, r, mat)
+        for i in range(n):
+            ivs = mat[i][np.isfinite(mat[i])]
+            ref = simulate_task(
+                float(te[i]), int(x[i]), float(c[i]), float(r[i]),
+                TraceReplayInjector(list(ivs)),
+            )
+            assert batch.wallclock[i] == pytest.approx(ref.wallclock), i
+            assert batch.n_failures[i] == ref.n_failures, i
+            assert bool(batch.completed[i]) == ref.completed, i
+
+    def test_distribution_draw_matches_scalar_sequence(self):
+        """simulate_tasks with one task must equal simulate_task driven
+        by the same RNG stream."""
+        dist = Exponential(1 / 200.0)
+        batch = simulate_tasks(
+            np.array([500.0]), np.array([5]), np.array([1.0]), np.array([2.0]),
+            np.array([0]), {0: dist}, np.random.default_rng(42),
+        )
+        ref = simulate_task(
+            500.0, 5, 1.0, 2.0,
+            FailureInjector(dist, np.random.default_rng(42)),
+        )
+        assert batch.wallclock[0] == pytest.approx(ref.wallclock)
+        assert batch.n_failures[0] == ref.n_failures
+
+    def test_result_accessors(self, rng):
+        te = np.full(50, 300.0)
+        res = simulate_tasks(
+            te, np.full(50, 4), 1.0, 1.0, np.zeros(50, dtype=int),
+            {0: Exponential(1 / 100.0)}, rng,
+        )
+        assert res.n_tasks == 50
+        assert res.wpr.shape == (50,)
+        assert np.all(res.wpr > 0) and np.all(res.wpr <= 1.0)
+        assert 0 < res.mean_wpr() <= 1.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            simulate_tasks(np.array([-1.0]), np.array([1]), 1.0, 1.0,
+                           np.array([0]), {0: Exponential(1.0)}, rng)
+        with pytest.raises(KeyError):
+            simulate_tasks(np.array([1.0]), np.array([1]), 1.0, 1.0,
+                           np.array([9]), {0: Exponential(1.0)}, rng)
+        with pytest.raises(ValueError):
+            simulate_tasks_replay(np.array([1.0]), np.array([1]), 1.0, 1.0,
+                                  np.zeros(3))  # wrong matrix shape
+
+
+class TestGrid:
+    def test_positions_and_times(self):
+        g = _Grid(0.0, 100.0, 4, 2.0)  # positions at 25, 50, 75
+        assert g.positions_after(0.0) == 3
+        assert g.positions_after(25.0) == 2
+        assert g.positions_after(80.0) == 0
+        assert g.next_position(30.0) == pytest.approx(50.0)
+        assert g.next_position(80.0) is None
+        assert g.time_to_finish(0.0) == pytest.approx(100 + 3 * 2)
+        assert g.time_to_finish(75.0) == pytest.approx(25.0)
+        assert g.time_to_reach(0.0, 60.0) == pytest.approx(60 + 2 * 2)
+
+    def test_commits_within(self):
+        g = _Grid(0.0, 100.0, 4, 2.0)
+        # uptime 26 < 27 needed to commit the first checkpoint
+        assert g.commits_within(0.0, 26.9)[0] == 0
+        committed, saved = g.commits_within(0.0, 27.0)
+        assert committed == 1 and saved == pytest.approx(25.0)
+        committed, saved = g.commits_within(0.0, 80.0)
+        assert committed == 2 and saved == pytest.approx(50.0)
+        # cap at remaining positions
+        committed, _ = g.commits_within(0.0, 1e9)
+        assert committed == 3
+
+    def test_single_interval_grid(self):
+        g = _Grid(0.0, 50.0, 1, 2.0)
+        assert g.positions_after(0.0) == 0
+        assert g.time_to_finish(0.0) == pytest.approx(50.0)
+        assert g.commits_within(0.0, 1000.0) == (0, 0.0)
+
+
+class TestTwoPhase:
+    def test_no_failures_completes_with_phase1_plan(self):
+        calm = Exponential(1e-9)
+        out = simulate_task_two_phase(
+            100.0, 2.0, 1.0, calm, calm, 2.0, 2.0,
+            np.random.default_rng(0),
+        )
+        assert out.completed
+        # Failure-free: wall-clock is te plus exactly the checkpoints
+        # written (including the adaptive one at the regime switch).
+        assert out.wallclock == pytest.approx(100.0 + out.n_checkpoints * 2.0)
+        assert out.n_failures == 0
+
+    def test_adaptive_beats_static_calm_to_hot(self):
+        calm = Exponential(1e-6)
+        hot = Exponential(1 / 100.0)
+        walls = {}
+        for adaptive in (True, False):
+            rng = np.random.default_rng(7)
+            total = 0.0
+            for _ in range(300):
+                out = simulate_task_two_phase(
+                    600.0, 1.0, 1.0, calm, hot, 0.0, 5.0, rng,
+                    adaptive=adaptive,
+                )
+                total += out.wallclock
+            walls[adaptive] = total
+        assert walls[True] < walls[False] * 0.75
+
+    def test_hot_to_calm_no_big_difference(self):
+        hot = Exponential(1 / 100.0)
+        calm = Exponential(1e-6)
+        walls = {}
+        for adaptive in (True, False):
+            rng = np.random.default_rng(7)
+            total = 0.0
+            for _ in range(200):
+                out = simulate_task_two_phase(
+                    600.0, 1.0, 1.0, hot, calm, 6.0, 0.1, rng,
+                    adaptive=adaptive,
+                )
+                total += out.wallclock
+            walls[adaptive] = total
+        assert walls[True] == pytest.approx(walls[False], rel=0.15)
+
+    def test_wall_at_least_te(self, rng):
+        out = simulate_task_two_phase(
+            300.0, 1.0, 1.0, Exponential(1 / 500.0), Exponential(1 / 200.0),
+            1.0, 2.0, rng,
+        )
+        assert out.wallclock >= 300.0
+
+    def test_validation(self, rng):
+        d = Exponential(1.0)
+        with pytest.raises(ValueError):
+            simulate_task_two_phase(0.0, 1.0, 1.0, d, d, 1.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            simulate_task_two_phase(1.0, 1.0, 1.0, d, d, 1.0, 1.0, rng,
+                                    switch_fraction=1.5)
+        with pytest.raises(ValueError):
+            simulate_task_two_phase(1.0, 0.0, 1.0, d, d, 1.0, 1.0, rng)
