@@ -1,10 +1,17 @@
-"""``repro-experiments`` command-line entry point.
+"""``repro`` command-line entry point (subcommands + legacy form).
 
 Usage::
 
-    repro-experiments --list
-    repro-experiments fig9 tab6
-    repro-experiments --all
+    repro experiments --list          # reproduce paper artifacts
+    repro experiments fig9 tab6
+    repro verify --quick              # cross-tier differential verification
+    repro verify --update-golden
+
+    repro-experiments fig9            # legacy alias, still supported
+
+For backward compatibility, unrecognized leading arguments fall through
+to the experiments runner, so ``repro --list`` and ``repro fig9`` keep
+working exactly like the historical ``repro-experiments`` CLI.
 """
 
 from __future__ import annotations
@@ -15,7 +22,7 @@ import time
 
 from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
 
-__all__ = ["main"]
+__all__ = ["main", "main_experiments"]
 
 #: Canonical presentation order (the paper's order).
 _ORDER = [
@@ -32,7 +39,20 @@ def _known_ids() -> list[str]:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns an exit status."""
+    """Top-level CLI: dispatch ``verify``/``experiments`` subcommands,
+    falling through to the legacy experiments interface otherwise."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] == "verify":
+        from repro.verify.cli import main as verify_main
+
+        return verify_main(args[1:])
+    if args and args[0] == "experiments":
+        args = args[1:]
+    return main_experiments(args)
+
+
+def main_experiments(argv: list[str] | None = None) -> int:
+    """Experiments runner; returns an exit status."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(

@@ -23,6 +23,11 @@ class ClusterConfig:
     ramdisk, migration type A), ``"nfs"`` (one shared server, type B),
     ``"dmnfs"`` (one server per host, random selection, type B), or
     ``"auto"`` (per-task §4.2.2 selection between local and DM-NFS).
+
+    ``vms_per_host_pattern`` models a heterogeneous deployment: host
+    ``h`` gets ``pattern[h % len(pattern)]`` VMs instead of the uniform
+    ``vms_per_host`` (which is ignored for capacity when a pattern is
+    set, but kept as the documented "nominal" size).
     """
 
     n_hosts: int = 32
@@ -46,6 +51,9 @@ class ClusterConfig:
     host_mtbf: float | None = None
     #: time a crashed host stays down before rejoining, seconds
     host_repair_time: float = 120.0
+    #: per-host VM counts for heterogeneous clusters (cycled over the
+    #: hosts); ``None`` means the uniform ``vms_per_host`` everywhere
+    vms_per_host_pattern: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.n_hosts < 1:
@@ -71,8 +79,28 @@ class ClusterConfig:
             raise ValueError(
                 f"host_repair_time must be >= 0, got {self.host_repair_time}"
             )
+        if self.vms_per_host_pattern is not None:
+            if not self.vms_per_host_pattern:
+                raise ValueError("vms_per_host_pattern must not be empty")
+            if any(v < 1 for v in self.vms_per_host_pattern):
+                raise ValueError(
+                    f"pattern VM counts must be >= 1, got "
+                    f"{self.vms_per_host_pattern}"
+                )
+            if max(self.vms_per_host_pattern) * self.vm_mem_mb > self.host_mem_mb:
+                raise ValueError(
+                    f"pattern peak of {max(self.vms_per_host_pattern)} VMs x "
+                    f"{self.vm_mem_mb} MB exceeds host memory "
+                    f"{self.host_mem_mb} MB"
+                )
+
+    def vms_on_host(self, host_id: int) -> int:
+        """VM count of host ``host_id`` (heterogeneity-aware)."""
+        if self.vms_per_host_pattern is None:
+            return self.vms_per_host
+        return self.vms_per_host_pattern[host_id % len(self.vms_per_host_pattern)]
 
     @property
     def n_vms(self) -> int:
         """Total VM count across the cluster."""
-        return self.n_hosts * self.vms_per_host
+        return sum(self.vms_on_host(h) for h in range(self.n_hosts))

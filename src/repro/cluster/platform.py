@@ -66,7 +66,7 @@ class CloudPlatform:
         vm_id = 0
         for h in range(cfg.n_hosts):
             host = PhysicalHost(host_id=h, mem_mb=cfg.host_mem_mb)
-            for _ in range(cfg.vms_per_host):
+            for _ in range(cfg.vms_on_host(h)):
                 host.add_vm(vm_id, cfg.vm_mem_mb, cfg.vm_ramdisk_mb)
                 vm_id += 1
             hosts.append(host)
@@ -282,4 +282,5 @@ class CloudPlatform:
             jobs=job_records,
             makespan=max(finishes) if finishes else env.now,
             peak_queue_length=scheduler.peak_queue_length,
+            n_events=env.events_processed,
         )

@@ -90,6 +90,9 @@ class PlatformResult:
     jobs: list[JobRecord]
     makespan: float
     peak_queue_length: int
+    #: events processed by the DES engine — equal across identically
+    #: seeded runs, a cheap whole-run determinism probe
+    n_events: int = 0
 
     @property
     def task_records(self) -> list[TaskRecord]:

@@ -145,6 +145,43 @@ class SimulationResult:
         """Average per-task WPR."""
         return float(np.mean(self.wpr))
 
+    def summary(self) -> dict[str, float]:
+        """Scalar statistics of the batch (the cross-tier comparables).
+
+        Means and standard deviations of the wallclock / WPR / failure
+        count distributions plus the completion rate — exactly the
+        quantities the verification subsystem holds against tolerances.
+        """
+        return {
+            "n_tasks": float(self.n_tasks),
+            "mean_wallclock": float(np.mean(self.wallclock)),
+            "std_wallclock": float(np.std(self.wallclock)),
+            "mean_wpr": float(np.mean(self.wpr)),
+            "mean_failures": float(np.mean(self.n_failures)),
+            "std_failures": float(np.std(self.n_failures)),
+            "total_failures": float(np.sum(self.n_failures)),
+            "completion_rate": float(np.mean(self.completed)),
+        }
+
+    def digest(self) -> str:
+        """Bit-level SHA-256 fingerprint of the per-task outcome arrays.
+
+        Two runs produce the same digest iff every wallclock, failure
+        count, interval count and completion flag matches exactly —
+        the scalar reference tier is golden-pinned on this."""
+        import hashlib
+
+        h = hashlib.sha256()
+        for arr, dtype in (
+            (self.te, "<f8"),
+            (self.wallclock, "<f8"),
+            (self.n_failures, "<i8"),
+            (self.intervals, "<i8"),
+            (self.completed, "u1"),
+        ):
+            h.update(np.ascontiguousarray(arr, dtype=dtype).tobytes())
+        return h.hexdigest()
+
 
 def simulate_tasks(
     te: np.ndarray,

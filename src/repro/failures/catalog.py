@@ -42,6 +42,7 @@ import numpy as np
 from repro.failures.distributions import Distribution, Exponential, Mixture, Pareto
 
 __all__ = [
+    "ExplicitCatalog",
     "PriorityFailureModel",
     "google_like_catalog",
     "BASE_MEAN",
@@ -152,6 +153,70 @@ class PriorityFailureModel:
     def mtbf(self, priority: int) -> float:
         """Analytic mean of the pooled interval law (heavy-tailed)."""
         return self.interval_distribution(priority).mean()
+
+
+@dataclass
+class ExplicitCatalog:
+    """A catalog that pins an explicit interval law per priority.
+
+    Duck-typed drop-in for :class:`PriorityFailureModel` wherever only
+    the injection interface is needed (``interval_distribution``,
+    ``mtbf``, ``expected_mnof``, ``sample_task_scale``).  The
+    verification subsystem uses it to run the *same* named distribution
+    (exponential, Weibull, Pareto, ...) through every execution tier;
+    ablations can use it to decouple the DES from the calibrated
+    frailty model.
+    """
+
+    distributions: dict[int, Distribution]
+
+    def __post_init__(self) -> None:
+        if not self.distributions:
+            raise ValueError("catalog must cover at least one priority")
+        for p, dist in self.distributions.items():
+            if not isinstance(dist, Distribution):
+                raise TypeError(
+                    f"priority {p}: expected a Distribution, got {dist!r}"
+                )
+
+    @property
+    def priorities(self) -> tuple[int, ...]:
+        """Priorities covered, ascending."""
+        return tuple(sorted(self.distributions))
+
+    def _check_priority(self, priority: int) -> None:
+        if priority not in self.distributions:
+            raise KeyError(
+                f"priority {priority} not in catalog {self.priorities}"
+            )
+
+    def interval_distribution(self, priority: int) -> Distribution:
+        """The pinned interval law for ``priority``."""
+        self._check_priority(priority)
+        return self.distributions[priority]
+
+    def mtbf(self, priority: int) -> float:
+        """Mean of the pinned law (may be ``inf`` for heavy tails)."""
+        return self.interval_distribution(priority).mean()
+
+    def expected_mnof(self, priority: int, te: float = REF_LENGTH) -> float:
+        """Renewal-approximate E(Y) for a task of length ``te``:
+        ``te / E[interval]`` (0 when the mean diverges)."""
+        if te <= 0:
+            raise ValueError(f"te must be positive, got {te}")
+        m = self.mtbf(priority)
+        return te / m if np.isfinite(m) and m > 0 else 0.0
+
+    def sample_task_scale(
+        self, priority: int, te: float, rng: np.random.Generator
+    ) -> float:
+        """Degenerate frailty: every task gets the law's mean as its
+        private scale (finite fallback of 1e9 for divergent means), so
+        trace synthesis against an explicit catalog stays well-defined."""
+        if te <= 0:
+            raise ValueError(f"te must be positive, got {te}")
+        m = self.mtbf(priority)
+        return m if np.isfinite(m) and m > 0 else 1e9
 
 
 def google_like_catalog(

@@ -298,12 +298,23 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active: Process | None = None
+        self._processed_count = 0
 
     # ------------------------------------------------------------------
     @property
     def now(self) -> float:
         """Current simulation time."""
         return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total events processed so far.
+
+        Two runs of the same model with the same seed must process the
+        same number of events in the same order; the verification
+        subsystem uses this count as a cheap whole-run determinism probe.
+        """
+        return self._processed_count
 
     @property
     def active_process(self) -> Process | None:
@@ -344,6 +355,7 @@ class Environment:
         if t < self._now:  # pragma: no cover - defensive
             raise SimulationError("time went backwards")
         self._now = t
+        self._processed_count += 1
         callbacks = event.callbacks
         event.callbacks = None
         event._processed = True

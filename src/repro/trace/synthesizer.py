@@ -46,6 +46,14 @@ class TraceConfig:
     bot_fraction: float = 0.5
     #: mean arrival rate, jobs per second (Poisson arrivals)
     arrival_rate: float = 0.1
+    #: arrival process shape: ``"poisson"`` (independent exponential
+    #: gaps) or ``"bursty"`` (jobs arrive in simultaneous batches of
+    #: ``burst_size`` with exponential gaps between batches, preserving
+    #: the long-run ``arrival_rate`` — the flash-crowd pattern that
+    #: stresses scheduler queueing and checkpoint-storage contention)
+    arrival_pattern: str = "poisson"
+    #: jobs per burst when ``arrival_pattern == "bursty"``
+    burst_size: int = 8
     #: lognormal parameters of task length, seconds
     length_log_mean: float = np.log(300.0)
     length_log_sigma: float = 1.1
@@ -90,6 +98,13 @@ class TraceConfig:
             raise ValueError(f"bot_fraction must lie in [0,1], got {self.bot_fraction}")
         if self.arrival_rate <= 0:
             raise ValueError(f"arrival_rate must be positive, got {self.arrival_rate}")
+        if self.arrival_pattern not in ("poisson", "bursty"):
+            raise ValueError(
+                f"arrival_pattern must be 'poisson' or 'bursty', "
+                f"got {self.arrival_pattern!r}"
+            )
+        if self.burst_size < 1:
+            raise ValueError(f"burst_size must be >= 1, got {self.burst_size}")
         if len(self.priority_weights) != 12:
             raise ValueError("priority_weights must have 12 entries")
         if self.length_min <= 0 or self.length_min >= self.length_max:
@@ -147,7 +162,14 @@ def synthesize_trace(
     task_id = 0
     t_submit = 0.0
     for job_id in range(cfg.n_jobs):
-        t_submit += float(rng.exponential(1.0 / cfg.arrival_rate))
+        if cfg.arrival_pattern == "bursty":
+            # Bursts of simultaneous submissions; gaps keep the rate.
+            if job_id % cfg.burst_size == 0:
+                t_submit += float(
+                    rng.exponential(cfg.burst_size / cfg.arrival_rate)
+                )
+        else:
+            t_submit += float(rng.exponential(1.0 / cfg.arrival_rate))
         is_bot = bool(rng.random() < cfg.bot_fraction)
         job_type = JobType.BAG_OF_TASKS if is_bot else JobType.SEQUENTIAL
         mean_tasks = cfg.bot_tasks_mean if is_bot else cfg.st_tasks_mean

@@ -1,0 +1,192 @@
+"""Golden regression files: pinned cross-tier results under version control.
+
+One JSON file per scenario lives in ``tests/golden/``.  The scalar
+reference tier is pinned **bit-level** (a SHA-256 digest of its
+per-task outcome arrays): any refactor of the hot paths that changes a
+single ULP of a single task trips it.  The vectorized and DES tiers are
+pinned under **tolerances** — their draw order is an implementation
+detail the roadmap's perf work is explicitly allowed to change, but
+their distributions are not.
+
+``repro verify --update-golden`` regenerates the files; the payload
+records enough summary statistics to make diffs reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.verify.compare import Check
+from repro.verify.runner import ScenarioResult
+
+__all__ = [
+    "GOLDEN_VERSION",
+    "compare_with_golden",
+    "default_golden_dir",
+    "golden_path",
+    "golden_payload",
+    "load_golden",
+    "write_golden",
+]
+
+GOLDEN_VERSION = 1
+
+#: vectorized/DES tier drift allowed against the pinned summary —
+#: generous enough for a draw-order change, tight enough that a model
+#: change (systematically longer wallclocks, more failures) trips it.
+TOL_WALL_REL = 0.10
+TOL_FAIL_REL = 0.20
+TOL_FAIL_ABS = 0.3
+TOL_WPR_ABS = 0.05
+TOL_COMPLETION_ABS = 0.02
+TOL_EVENTS_REL = 0.10
+TOL_MAKESPAN_REL = 0.10
+
+
+def default_golden_dir() -> Path:
+    """``tests/golden`` of the source checkout this package runs from.
+
+    Resolved relative to the package directory (``src/repro/verify`` →
+    repo root), which holds for the editable/`PYTHONPATH=src` layouts
+    the test suite and CI use.
+    """
+    return Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+def golden_path(name: str, golden_dir: Path | None = None) -> Path:
+    """Golden file path for scenario ``name``."""
+    base = golden_dir if golden_dir is not None else default_golden_dir()
+    return Path(base) / f"{name}.json"
+
+
+def golden_payload(result: ScenarioResult) -> dict:
+    """JSON payload pinned for one scenario."""
+    scalar = result.tiers["scalar"]
+    vector = result.tiers["vector"]
+    des = result.tiers["des"]
+    return {
+        "version": GOLDEN_VERSION,
+        "scenario": result.scenario.name,
+        "compare": result.scenario.compare,
+        "seed": result.seed,
+        "scalar": {"digest": scalar.digest, "summary": scalar.summary},
+        "vector": {"summary": vector.summary},
+        "des": {"summary": des.summary, "extra": des.extra},
+    }
+
+
+def write_golden(result: ScenarioResult, golden_dir: Path | None = None) -> Path:
+    """Write (or overwrite) the scenario's golden file."""
+    path = golden_path(result.scenario.name, golden_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(golden_payload(result), indent=2, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def load_golden(name: str, golden_dir: Path | None = None) -> dict | None:
+    """Load a scenario's golden payload (``None`` when absent)."""
+    path = golden_path(name, golden_dir)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def _tol_check(
+    name: str, current: float, pinned: float, rel: float, abs_: float
+) -> Check:
+    gap = abs(current - pinned)
+    bound = rel * max(abs(pinned), abs(current)) + abs_
+    return Check(
+        name=name,
+        passed=gap <= bound,
+        observed=gap,
+        bound=bound,
+        detail=f"current {current:.6g} vs golden {pinned:.6g}",
+    )
+
+
+def compare_with_golden(
+    result: ScenarioResult, golden: dict | None
+) -> list[Check]:
+    """Checks of the current run against the pinned golden payload."""
+    name = result.scenario.name
+    if golden is None:
+        return [
+            Check(
+                name="golden:present",
+                passed=False,
+                observed=1.0,
+                bound=0.0,
+                detail=f"no golden file for {name!r}; run "
+                       "`repro verify --update-golden`",
+            )
+        ]
+    checks: list[Check] = []
+    if golden.get("version") != GOLDEN_VERSION:
+        checks.append(Check(
+            name="golden:version",
+            passed=False,
+            observed=float(golden.get("version", -1)),
+            bound=float(GOLDEN_VERSION),
+            detail="golden schema version mismatch; regenerate",
+        ))
+        return checks
+    if golden.get("seed") != result.seed:
+        checks.append(Check(
+            name="golden:seed",
+            passed=False,
+            observed=float(result.seed),
+            bound=float(golden.get("seed", -1)),
+            detail="run seed differs from the pinned seed; rerun with the "
+                   "golden base seed or regenerate",
+        ))
+        return checks
+
+    scalar = result.tiers["scalar"]
+    checks.append(Check(
+        name="golden:scalar-digest",
+        passed=scalar.digest == golden["scalar"]["digest"],
+        observed=0.0 if scalar.digest == golden["scalar"]["digest"] else 1.0,
+        bound=0.0,
+        detail="bit-level scalar-tier determinism pin",
+    ))
+    for tier, tols in (
+        ("vector", (TOL_WALL_REL, TOL_FAIL_REL)),
+        ("des", (TOL_WALL_REL, TOL_FAIL_REL)),
+    ):
+        cur = result.tiers[tier].summary
+        pin = golden[tier]["summary"]
+        wall_rel, fail_rel = tols
+        checks.append(_tol_check(
+            f"golden:{tier}-mean-wallclock",
+            cur["mean_wallclock"], pin["mean_wallclock"], wall_rel, 1e-9,
+        ))
+        checks.append(_tol_check(
+            f"golden:{tier}-mean-failures",
+            cur["mean_failures"], pin["mean_failures"], fail_rel, TOL_FAIL_ABS,
+        ))
+        checks.append(_tol_check(
+            f"golden:{tier}-mean-wpr",
+            cur["mean_wpr"], pin["mean_wpr"], 0.0, TOL_WPR_ABS,
+        ))
+        checks.append(_tol_check(
+            f"golden:{tier}-completion-rate",
+            cur["completion_rate"], pin["completion_rate"],
+            0.0, TOL_COMPLETION_ABS,
+        ))
+    # The DES-only shape quantities: event count and makespan drift
+    # under the same regression tolerance (rerun *equality* of both is
+    # covered separately by the determinism tests).
+    des_extra = result.tiers["des"].extra
+    pin_extra = golden["des"].get("extra", {})
+    for key, rel in (("n_events", TOL_EVENTS_REL),
+                     ("makespan", TOL_MAKESPAN_REL)):
+        if key in pin_extra:
+            checks.append(_tol_check(
+                f"golden:des-{key}",
+                float(des_extra[key]), float(pin_extra[key]), rel, 1e-9,
+            ))
+    return checks

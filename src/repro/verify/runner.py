@@ -1,0 +1,316 @@
+"""The differential runner: one workload through all three tiers.
+
+Tier A (**scalar**) is the reference: :func:`repro.core.simulate.
+simulate_task` per task, each with a failure injector seeded
+``(seed, task_id)`` — the same construction the DES platform uses, so
+the two tiers consume identical uptime draw sequences.  Tier B
+(**vector**) is :func:`repro.core.simulate.simulate_tasks` on one
+batched stream.  Tier C (**des**) is the full
+:class:`~repro.cluster.platform.CloudPlatform` run over the scenario's
+trace and cluster config.
+
+The DES wallclock includes endogenous overheads the analytic model
+charges differently (queue wait, placement, failure detection), so the
+runner derives a *comparable wallclock* per task::
+
+    comparable = (finish - submit) - queue_wait
+                 - placement_overhead * (1 + n_failures)
+                 - failure_detection_delay * n_failures
+
+which under contention-free storage equals the scalar tier's wallclock
+to float-accumulation precision — per task, not just on average.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.platform import CloudPlatform
+from repro.core.simulate import SimulationResult, simulate_task, simulate_tasks
+from repro.failures.injector import FailureInjector
+from repro.verify.compare import (
+    Check,
+    check_allclose,
+    check_array_equal,
+    check_ks,
+    check_mean_close,
+    check_ratio,
+)
+from repro.verify.scenarios import (
+    Scenario,
+    Workload,
+    build_workload,
+    make_policy,
+)
+
+__all__ = ["ScenarioResult", "TierResult", "run_des", "run_scalar",
+           "run_scenario", "run_vector"]
+
+#: tolerated intentional model gap between tiers in ``stats`` mode
+#: (storage congestion pricing, selector mixing): 15% on wallclock
+#: means, 25% + 0.3 failures on failure-count means.
+STATS_WALL_SLACK = 0.15
+STATS_FAIL_REL = 0.25
+STATS_FAIL_ABS = 0.3
+
+
+@dataclass
+class TierResult:
+    """Per-task outcome arrays plus summary statistics for one tier."""
+
+    tier: str
+    wallclock: np.ndarray
+    n_failures: np.ndarray
+    wpr: np.ndarray
+    completed: np.ndarray
+    summary: dict[str, float]
+    digest: str | None = None
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (summary only, not raw arrays)."""
+        out = {"tier": self.tier, "summary": self.summary, "extra": self.extra}
+        if self.digest is not None:
+            out["digest"] = self.digest
+        return out
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario produced: tiers, checks, verdict."""
+
+    scenario: Scenario
+    seed: int
+    tiers: dict[str, TierResult]
+    checks: list[Check]
+    elapsed_s: float
+
+    @property
+    def passed(self) -> bool:
+        """Whether every cross-tier check held."""
+        return all(c.passed for c in self.checks)
+
+    @property
+    def n_violations(self) -> int:
+        """Number of violated checks."""
+        return sum(not c.passed for c in self.checks)
+
+    def to_dict(self) -> dict:
+        """JSON-ready report fragment."""
+        return {
+            "scenario": self.scenario.name,
+            "description": self.scenario.description,
+            "axes": list(self.scenario.axes),
+            "compare": self.scenario.compare,
+            "seed": self.seed,
+            "n_tasks": int(self.tiers["scalar"].wallclock.size),
+            "passed": self.passed,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "tiers": {k: v.to_dict() for k, v in self.tiers.items()},
+            "checks": [c.to_dict() for c in self.checks],
+        }
+
+
+# ----------------------------------------------------------------------
+def _summarize(result: SimulationResult) -> dict[str, float]:
+    return result.summary()
+
+
+def run_scalar(workload: Workload) -> TierResult:
+    """Tier A: the scalar reference, injectors seeded like the DES."""
+    n = workload.n_tasks
+    cfg = workload.cluster
+    wall = np.empty(n)
+    fails = np.empty(n, dtype=np.int64)
+    completed = np.empty(n, dtype=bool)
+    for i in range(n):
+        injector = FailureInjector(
+            workload.distributions[int(workload.dist_ids[i])],
+            np.random.default_rng((workload.seed, i)),
+            max_failures=cfg.max_failures_per_task,
+        )
+        out = simulate_task(
+            te=float(workload.te[i]),
+            intervals=int(workload.intervals[i]),
+            checkpoint_cost=float(workload.checkpoint_cost[i]),
+            restart_cost=float(workload.restart_cost[i]),
+            injector=injector,
+        )
+        wall[i] = out.wallclock
+        fails[i] = out.n_failures
+        completed[i] = out.completed
+    result = SimulationResult(
+        te=workload.te.copy(),
+        wallclock=wall,
+        n_failures=fails,
+        intervals=workload.intervals.copy(),
+        completed=completed,
+    )
+    return TierResult(
+        tier="scalar",
+        wallclock=wall,
+        n_failures=fails,
+        wpr=result.wpr,
+        completed=completed,
+        summary=_summarize(result),
+        digest=result.digest(),
+    )
+
+
+def run_vector(workload: Workload) -> TierResult:
+    """Tier B: the vectorized Monte-Carlo batch on one fresh stream."""
+    rng = np.random.default_rng((workload.seed, 0x7EC7))
+    result = simulate_tasks(
+        te=workload.te,
+        intervals=workload.intervals,
+        checkpoint_cost=workload.checkpoint_cost,
+        restart_cost=workload.restart_cost,
+        dist_ids=workload.dist_ids,
+        distributions=workload.distributions,
+        rng=rng,
+    )
+    return TierResult(
+        tier="vector",
+        wallclock=result.wallclock,
+        n_failures=result.n_failures,
+        wpr=result.wpr,
+        completed=result.completed,
+        summary=_summarize(result),
+        digest=result.digest(),
+    )
+
+
+def run_des(workload: Workload) -> TierResult:
+    """Tier C: the discrete-event cluster simulation."""
+    platform = CloudPlatform(
+        config=workload.cluster,
+        catalog=workload.catalog,
+        seed=workload.seed,
+    )
+    res = platform.run_trace(
+        workload.trace,
+        policy=make_policy(workload.scenario.policy, workload.scenario.policy_param),
+        mnof_by_priority=workload.mnof_by_priority,
+        mtbf_by_priority=workload.mtbf_by_priority,
+    )
+    cfg = workload.cluster
+    records = sorted(res.task_records, key=lambda r: r.task_id)
+    if len(records) != workload.n_tasks:
+        raise RuntimeError(
+            f"DES returned {len(records)} task records for "
+            f"{workload.n_tasks} tasks"
+        )
+    n = len(records)
+    wall = np.empty(n)
+    fails = np.empty(n, dtype=np.int64)
+    completed = np.empty(n, dtype=bool)
+    for i, rec in enumerate(records):
+        fails[i] = rec.n_failures
+        completed[i] = rec.completed
+        if rec.finish_time is None:
+            wall[i] = np.nan
+            continue
+        raw = rec.finish_time - rec.submit_time
+        wall[i] = (
+            raw
+            - rec.queue_wait
+            - cfg.placement_overhead * (1 + rec.n_failures)
+            - cfg.failure_detection_delay * rec.n_failures
+        )
+    result = SimulationResult(
+        te=workload.te.copy(),
+        wallclock=wall,
+        n_failures=fails,
+        intervals=workload.intervals.copy(),
+        completed=completed,
+    )
+    return TierResult(
+        tier="des",
+        wallclock=wall,
+        n_failures=fails,
+        wpr=result.wpr,
+        completed=completed,
+        summary=_summarize(result),
+        digest=result.digest(),
+        extra={
+            "makespan": float(res.makespan),
+            "n_events": float(res.n_events),
+            "peak_queue_length": float(res.peak_queue_length),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+def _cross_tier_checks(
+    spec: Scenario,
+    scalar: TierResult,
+    vector: TierResult,
+    des: TierResult,
+) -> list[Check]:
+    """Build the scenario's check list per its compare mode."""
+    checks: list[Check] = [
+        # Scalar vs vectorized: independent samples of one model.
+        check_mean_close("scalar-vs-vector:mean-wallclock",
+                         scalar.wallclock, vector.wallclock),
+        check_mean_close("scalar-vs-vector:mean-failures",
+                         scalar.n_failures, vector.n_failures),
+        check_mean_close("scalar-vs-vector:mean-wpr",
+                         scalar.wpr, vector.wpr, abs_slack=1e-3),
+        check_ks("scalar-vs-vector:ks-wallclock",
+                 scalar.wallclock, vector.wallclock),
+        check_array_equal("scalar-vs-vector:completion",
+                          scalar.completed, vector.completed),
+    ]
+    if spec.compare == "exact":
+        checks += [
+            check_array_equal("scalar-vs-des:failure-counts",
+                              scalar.n_failures, des.n_failures),
+            check_allclose("scalar-vs-des:comparable-wallclock",
+                           des.wallclock, scalar.wallclock,
+                           rtol=1e-7, atol=1e-5),
+            check_array_equal("scalar-vs-des:completion",
+                              scalar.completed, des.completed),
+        ]
+    elif spec.compare == "stats":
+        checks += [
+            check_mean_close("scalar-vs-des:mean-wallclock",
+                             scalar.wallclock, des.wallclock,
+                             rel_slack=STATS_WALL_SLACK),
+            check_mean_close("scalar-vs-des:mean-failures",
+                             scalar.n_failures, des.n_failures,
+                             rel_slack=STATS_FAIL_REL,
+                             abs_slack=STATS_FAIL_ABS),
+            check_array_equal("scalar-vs-des:completion",
+                              scalar.completed, des.completed),
+        ]
+    else:  # loose: DES physics (host crashes) diverge by design
+        checks += [
+            check_ratio("scalar-vs-des:wallclock-ratio",
+                        des.wallclock, scalar.wallclock,
+                        lo=spec.loose_lo, hi=spec.loose_hi),
+            check_ratio("scalar-vs-des:failure-ratio",
+                        np.asarray(des.n_failures, float) + 1.0,
+                        np.asarray(scalar.n_failures, float) + 1.0,
+                        lo=spec.loose_lo, hi=spec.loose_hi),
+        ]
+    return checks
+
+
+def run_scenario(spec: Scenario, base_seed: int = 0) -> ScenarioResult:
+    """Run one scenario through all three tiers and cross-check them."""
+    t0 = time.perf_counter()
+    workload = build_workload(spec, base_seed)
+    scalar = run_scalar(workload)
+    vector = run_vector(workload)
+    des = run_des(workload)
+    checks = _cross_tier_checks(spec, scalar, vector, des)
+    return ScenarioResult(
+        scenario=spec,
+        seed=workload.seed,
+        tiers={"scalar": scalar, "vector": vector, "des": des},
+        checks=checks,
+        elapsed_s=time.perf_counter() - t0,
+    )

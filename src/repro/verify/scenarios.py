@@ -1,0 +1,792 @@
+"""Named, seeded scenario specs and their concrete workload builder.
+
+A :class:`Scenario` is a frozen declarative spec: which failure laws
+drive which priorities, how task lengths/memory are drawn, which
+checkpoint policy and storage backend apply, how jobs arrive, and how
+strictly the execution tiers must agree (``compare`` mode).  The
+builder (:func:`build_workload`) turns a spec into a fully materialized
+:class:`Workload` — per-task parameter arrays for the scalar and
+vectorized tiers plus a :class:`~repro.trace.models.Trace` and
+:class:`~repro.cluster.config.ClusterConfig` for the DES tier — as a
+pure function of ``(spec, base_seed)``.
+
+Cross-tier alignment contract
+-----------------------------
+The DES seeds each task's failure injector as
+``default_rng((seed, task_id))`` and quotes uncontended checkpoint
+costs on contention-free storage, so a scalar run with identically
+seeded injectors consumes the *identical* uptime draw sequence.  Under
+``compare="exact"`` the differential runner therefore demands per-task
+bit-level agreement of failure counts and float-accumulation-level
+agreement of overhead-adjusted wallclocks.  ``"stats"`` scenarios
+(storage contention reprices checkpoints) and ``"loose"`` scenarios
+(host crashes exist only in the DES model) relax this to statistical
+and bounded-ratio agreement respectively; the scalar-vs-vectorized
+comparison is statistical everywhere because the vectorized tier draws
+from one batched stream.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.config import ClusterConfig
+from repro.core.placement import select_storage
+from repro.core.policies import (
+    CheckpointPolicy,
+    DalyPolicy,
+    FixedCountPolicy,
+    FixedIntervalPolicy,
+    NoCheckpointPolicy,
+    OptimalCountPolicy,
+    TaskProfile,
+    YoungPolicy,
+)
+from repro.failures.catalog import ExplicitCatalog, google_like_catalog
+from repro.failures.distributions import (
+    Distribution,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Pareto,
+    Weibull,
+)
+from repro.storage.blcr import BLCRModel, MigrationType
+from repro.trace.models import Job, JobType, Task, Trace
+from repro.trace.synthesizer import TraceConfig, synthesize_trace
+
+__all__ = [
+    "FailureLaw",
+    "SCENARIOS",
+    "Scenario",
+    "Workload",
+    "build_workload",
+    "get_scenario",
+    "list_scenarios",
+    "make_distribution",
+    "make_policy",
+    "register_scenario",
+]
+
+
+@dataclass(frozen=True)
+class FailureLaw:
+    """One priority's failure-interval law.
+
+    ``mean`` is the target expected interval (the body mean for the
+    mixture family, whose Pareto tail makes the true mean larger);
+    ``shape`` is family-specific: Weibull ``k``, Pareto ``alpha``,
+    LogNormal ``sigma`` (unused for exponential/mixture).
+    """
+
+    priority: int
+    family: str
+    mean: float
+    shape: float = 0.0
+
+
+def make_distribution(family: str, mean: float, shape: float = 0.0) -> Distribution:
+    """Construct a named interval law with expected value ``mean``."""
+    if mean <= 0:
+        raise ValueError(f"mean must be positive, got {mean}")
+    if family == "exponential":
+        return Exponential(1.0 / mean)
+    if family == "weibull":
+        k = shape if shape > 0 else 1.5
+        lam = mean / math.gamma(1.0 + 1.0 / k)
+        return Weibull(k, lam)
+    if family == "pareto":
+        alpha = shape if shape > 1.0 else 2.5
+        return Pareto(xm=mean * (alpha - 1.0) / alpha, alpha=alpha)
+    if family == "lognormal":
+        sigma = shape if shape > 0 else 1.0
+        return LogNormal(math.log(mean) - 0.5 * sigma**2, sigma)
+    if family == "mixture":
+        # Exponential body + Pareto tail, the calibrated catalog's shape.
+        return Mixture(
+            [Exponential(1.0 / mean), Pareto(xm=3.0 * mean, alpha=1.15)],
+            [0.75, 0.25],
+        )
+    raise ValueError(f"unknown distribution family {family!r}")
+
+
+def make_policy(policy: str, param: float = 0.0) -> CheckpointPolicy:
+    """Construct the checkpoint policy named by a scenario spec."""
+    if policy == "optimal":
+        return OptimalCountPolicy()
+    if policy == "young":
+        return YoungPolicy()
+    if policy == "daly":
+        return DalyPolicy()
+    if policy == "fixed-interval":
+        return FixedIntervalPolicy(param)
+    if policy == "fixed-count":
+        return FixedCountPolicy(int(param))
+    if policy == "none":
+        return NoCheckpointPolicy()
+    raise ValueError(f"unknown policy {policy!r}")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Declarative spec of one differential-verification scenario."""
+
+    name: str
+    description: str
+    #: axes of the paper's evaluation this scenario exercises (tags)
+    axes: tuple[str, ...]
+    #: per-priority failure laws (tasks cycle over these priorities)
+    laws: tuple[FailureLaw, ...] = (
+        FailureLaw(priority=5, family="exponential", mean=600.0),
+    )
+    n_tasks: int = 64
+    # -- task shape ----------------------------------------------------
+    te_mode: str = "lognormal"  # "lognormal" | "fixed"
+    te_mean: float = 300.0  # median for lognormal, value for fixed
+    te_sigma: float = 0.6
+    te_min: float = 30.0
+    te_max: float = 20000.0
+    mem_mean: float = 60.0  # lognormal median, MB
+    mem_sigma: float = 0.5
+    mem_min: float = 10.0
+    mem_max: float = 800.0
+    # -- policy / storage ---------------------------------------------
+    policy: str = "optimal"
+    policy_param: float = 0.0
+    storage: str = "local"
+    # -- arrivals ------------------------------------------------------
+    arrival: str = "batch"  # "batch" | "steady" | "bursty"
+    arrival_rate: float = 0.5
+    burst_size: int = 8
+    # -- cluster -------------------------------------------------------
+    n_hosts: int = 8
+    vms_per_host: int = 7
+    vms_per_host_pattern: tuple[int, ...] | None = None
+    failure_detection_delay: float = 1.0
+    placement_overhead: float = 0.5
+    host_mtbf: float | None = None
+    host_repair_time: float = 60.0
+    # -- synthesized-trace mode ---------------------------------------
+    from_trace: bool = False
+    trace_jobs: int = 30
+    trace_arrival: str = "poisson"
+    trace_burst_size: int = 8
+    # -- comparison strictness ----------------------------------------
+    compare: str = "exact"  # "exact" | "stats" | "loose"
+    loose_lo: float = 0.8
+    loose_hi: float = 3.0
+    #: member of the fast smoke subset (``repro verify --quick``)
+    quick: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.laws and not self.from_trace:
+            raise ValueError(f"{self.name}: needs at least one failure law")
+        if self.compare not in ("exact", "stats", "loose"):
+            raise ValueError(f"{self.name}: bad compare mode {self.compare!r}")
+        if self.arrival not in ("batch", "steady", "bursty"):
+            raise ValueError(f"{self.name}: bad arrival mode {self.arrival!r}")
+        if self.te_mode not in ("lognormal", "fixed"):
+            raise ValueError(f"{self.name}: bad te_mode {self.te_mode!r}")
+        seen = [law.priority for law in self.laws]
+        if len(set(seen)) != len(seen):
+            raise ValueError(f"{self.name}: duplicate priorities in laws")
+
+    def seed_for(self, base_seed: int) -> int:
+        """Stable scenario seed mixed from the run's base seed."""
+        return zlib.crc32(f"{base_seed}:{self.name}".encode()) & 0x7FFFFFFF
+
+
+@dataclass
+class Workload:
+    """A scenario materialized into tier-ready inputs."""
+
+    scenario: Scenario
+    seed: int
+    # per-task arrays (task_id order)
+    te: np.ndarray
+    mem_mb: np.ndarray
+    priority: np.ndarray
+    intervals: np.ndarray
+    checkpoint_cost: np.ndarray
+    restart_cost: np.ndarray
+    dist_ids: np.ndarray
+    distributions: dict[int, Distribution]
+    # DES-side inputs
+    trace: Trace
+    cluster: ClusterConfig
+    catalog: object
+    mnof_by_priority: dict[int, float]
+    mtbf_by_priority: dict[int, float]
+
+    @property
+    def n_tasks(self) -> int:
+        """Number of tasks in the workload."""
+        return int(self.te.size)
+
+
+# ----------------------------------------------------------------------
+def _resolve_storage(
+    storage: str, te: float, mnof: float, mem_mb: float
+) -> tuple[str, float, float]:
+    """Replicate the platform's per-task storage resolution.
+
+    Returns ``(migration_type, checkpoint_cost, restart_cost)`` with the
+    *uncontended* checkpoint quote (the DES adds congestion pricing on
+    shared backends — which is exactly what the ``stats`` compare mode
+    tolerates).
+    """
+    blcr = BLCRModel(mem_mb=mem_mb)
+    if storage == "local":
+        return "A", blcr.checkpoint_cost_local, blcr.restart_cost("A")
+    if storage in ("nfs", "dmnfs"):
+        return "B", blcr.checkpoint_cost_shared, blcr.restart_cost("B")
+    if storage == "auto":
+        decision = select_storage(te, mnof, blcr)
+        if decision.target is MigrationType.A:
+            return "A", blcr.checkpoint_cost_local, blcr.restart_cost("A")
+        return "B", blcr.checkpoint_cost_shared, blcr.restart_cost("B")
+    raise ValueError(f"unknown storage mode {storage!r}")
+
+
+def _arrival_times(spec: Scenario, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Submission times under the spec's arrival pattern."""
+    if spec.arrival == "batch":
+        return np.zeros(n)
+    if spec.arrival == "steady":
+        return np.cumsum(rng.exponential(1.0 / spec.arrival_rate, size=n))
+    # bursty: simultaneous batches, exponential gaps between batches
+    n_bursts = (n + spec.burst_size - 1) // spec.burst_size
+    gaps = rng.exponential(spec.burst_size / spec.arrival_rate, size=n_bursts)
+    starts = np.cumsum(gaps)
+    return np.repeat(starts, spec.burst_size)[:n]
+
+
+def _build_synthetic(spec: Scenario, seed: int) -> Workload:
+    """Materialize a law-driven (non-trace) scenario."""
+    rng = np.random.default_rng((seed, 0xB11D))
+    n = spec.n_tasks
+
+    if spec.te_mode == "fixed":
+        te = np.full(n, float(spec.te_mean))
+    else:
+        te = np.clip(
+            rng.lognormal(math.log(spec.te_mean), spec.te_sigma, size=n),
+            spec.te_min,
+            spec.te_max,
+        )
+    mem = np.clip(
+        rng.lognormal(math.log(spec.mem_mean), spec.mem_sigma, size=n),
+        spec.mem_min,
+        spec.mem_max,
+    )
+    laws = spec.laws
+    priority = np.asarray([laws[i % len(laws)].priority for i in range(n)], dtype=np.int64)
+    distributions = {
+        law.priority: make_distribution(law.family, law.mean, law.shape)
+        for law in laws
+    }
+    mnof_map: dict[int, float] = {}
+    mtbf_map: dict[int, float] = {}
+    for law in laws:
+        dist_mean = distributions[law.priority].mean()
+        mtbf_map[law.priority] = (
+            dist_mean if np.isfinite(dist_mean) and dist_mean > 0 else law.mean
+        )
+        mnof_map[law.priority] = spec.te_mean / law.mean
+
+    submit = _arrival_times(spec, n, rng)
+    jobs = []
+    for i in range(n):
+        task = Task(
+            task_id=i,
+            job_id=i,
+            index=0,
+            te=float(te[i]),
+            mem_mb=float(mem[i]),
+            priority=int(priority[i]),
+        )
+        jobs.append(
+            Job(
+                job_id=i,
+                job_type=JobType.SEQUENTIAL,
+                submit_time=float(submit[i]),
+                tasks=(task,),
+            )
+        )
+    trace = Trace(tuple(jobs))
+    catalog = ExplicitCatalog(distributions)
+    return _finalize(
+        spec, seed, te, mem, priority, priority.copy(), distributions,
+        trace, catalog, mnof_map, mtbf_map,
+    )
+
+
+def _build_from_trace(spec: Scenario, seed: int) -> Workload:
+    """Materialize a synthesized Google-like trace scenario.
+
+    Every synthesized task carries its private frailty scale, which the
+    DES injects as an exponential law seeded per task — so the scalar
+    tier mirrors it with per-task distributions keyed by ``task_id``.
+    """
+    catalog = google_like_catalog()
+    tcfg = TraceConfig(
+        n_jobs=spec.trace_jobs,
+        arrival_rate=spec.arrival_rate,
+        arrival_pattern=spec.trace_arrival,
+        burst_size=spec.trace_burst_size,
+        mem_max=spec.mem_max,
+        length_max=spec.te_max,
+    )
+    trace = synthesize_trace(tcfg, catalog=catalog, seed=seed)
+    tasks = list(trace.tasks())
+    tasks.sort(key=lambda t: t.task_id)
+    te = np.asarray([t.te for t in tasks])
+    mem = np.asarray([t.mem_mb for t in tasks])
+    priority = np.asarray([t.priority for t in tasks], dtype=np.int64)
+    dist_ids = np.asarray([t.task_id for t in tasks], dtype=np.int64)
+    distributions = {
+        t.task_id: Exponential(1.0 / t.interval_scale) for t in tasks
+    }
+    priorities = sorted(set(int(p) for p in priority))
+    mnof_map = {p: catalog.expected_mnof(p) for p in priorities}
+    mtbf_map = {p: min(catalog.base(p), 1e9) for p in priorities}
+    return _finalize(
+        spec, seed, te, mem, priority, dist_ids, distributions,
+        trace, catalog, mnof_map, mtbf_map,
+    )
+
+
+def _finalize(
+    spec: Scenario,
+    seed: int,
+    te: np.ndarray,
+    mem: np.ndarray,
+    priority: np.ndarray,
+    dist_ids: np.ndarray,
+    distributions: dict[int, Distribution],
+    trace: Trace,
+    catalog: object,
+    mnof_map: dict[int, float],
+    mtbf_map: dict[int, float],
+) -> Workload:
+    """Resolve storage and interval counts exactly like the platform."""
+    policy = make_policy(spec.policy, spec.policy_param)
+    n = te.size
+    x = np.empty(n, dtype=np.int64)
+    ckpt = np.empty(n)
+    rest = np.empty(n)
+    for i in range(n):
+        p = int(priority[i])
+        mnof = mnof_map.get(p, 0.0)
+        mtbf = mtbf_map.get(p, math.inf)
+        _mig, c_i, r_i = _resolve_storage(
+            spec.storage, float(te[i]), mnof, float(mem[i])
+        )
+        ckpt[i] = c_i
+        rest[i] = r_i
+        profile = TaskProfile(
+            te=float(te[i]),
+            checkpoint_cost=c_i,
+            restart_cost=r_i,
+            mnof=mnof,
+            mtbf=mtbf,
+            priority=p,
+        )
+        x[i] = policy.interval_count(profile)
+    cluster = ClusterConfig(
+        n_hosts=spec.n_hosts,
+        vms_per_host=spec.vms_per_host,
+        vms_per_host_pattern=spec.vms_per_host_pattern,
+        storage=spec.storage,
+        failure_detection_delay=spec.failure_detection_delay,
+        placement_overhead=spec.placement_overhead,
+        host_mtbf=spec.host_mtbf,
+        host_repair_time=spec.host_repair_time,
+    )
+    return Workload(
+        scenario=spec,
+        seed=seed,
+        te=te,
+        mem_mb=mem,
+        priority=priority,
+        intervals=x,
+        checkpoint_cost=ckpt,
+        restart_cost=rest,
+        dist_ids=dist_ids,
+        distributions=distributions,
+        trace=trace,
+        cluster=cluster,
+        catalog=catalog,
+        mnof_by_priority=mnof_map,
+        mtbf_by_priority=mtbf_map,
+    )
+
+
+def build_workload(spec: Scenario, base_seed: int = 0) -> Workload:
+    """Materialize ``spec`` deterministically under ``base_seed``."""
+    seed = spec.seed_for(base_seed)
+    if spec.from_trace:
+        return _build_from_trace(spec, seed)
+    return _build_synthetic(spec, seed)
+
+
+# ----------------------------------------------------------------------
+# The registry.
+# ----------------------------------------------------------------------
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def register_scenario(spec: Scenario) -> Scenario:
+    """Add ``spec`` to the global registry (names are unique)."""
+    if spec.name in SCENARIOS:
+        raise ValueError(f"scenario {spec.name!r} registered twice")
+    SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}"
+        ) from None
+
+
+def list_scenarios(quick_only: bool = False) -> list[Scenario]:
+    """Registered scenarios in registration order."""
+    specs = list(SCENARIOS.values())
+    if quick_only:
+        specs = [s for s in specs if s.quick]
+    return specs
+
+
+def _exp(priority: int, mean: float) -> FailureLaw:
+    return FailureLaw(priority=priority, family="exponential", mean=mean)
+
+
+# -- failure-rate / priority axis --------------------------------------
+register_scenario(Scenario(
+    name="exp-baseline-local",
+    description="Exponential failures, priority 5, local ramdisk, Formula (3); "
+                "the reference point every other scenario perturbs.",
+    axes=("distribution:exponential", "storage:local", "policy:optimal"),
+    laws=(_exp(5, 600.0),),
+    n_tasks=64,
+    quick=True,
+))
+register_scenario(Scenario(
+    name="exp-per-priority-spread",
+    description="Five priorities with Fig. 4-style geometric interval growth; "
+                "per-priority failure rates diverge by two orders of magnitude.",
+    axes=("distribution:exponential", "priority:spread"),
+    laws=(_exp(1, 200.0), _exp(3, 500.0), _exp(5, 1200.0),
+          _exp(8, 5000.0), _exp(12, 40000.0)),
+    n_tasks=80,
+))
+register_scenario(Scenario(
+    name="exp-high-failure-rate",
+    description="Low priority under heavy preemption: several failures per task.",
+    axes=("distribution:exponential", "priority:low", "rate:high"),
+    laws=(_exp(1, 150.0),),
+    n_tasks=48,
+    te_mean=400.0,
+    quick=True,
+))
+register_scenario(Scenario(
+    name="exp-rare-failures",
+    description="Top priority, near-failure-free: the x=1 degenerate regime.",
+    axes=("distribution:exponential", "priority:high", "rate:rare"),
+    laws=(_exp(12, 50000.0),),
+    n_tasks=64,
+))
+
+# -- distribution-family axis ------------------------------------------
+register_scenario(Scenario(
+    name="weibull-infant-mortality",
+    description="Weibull k=0.7 (decreasing hazard) — early-failure clustering.",
+    axes=("distribution:weibull", "hazard:decreasing"),
+    laws=(FailureLaw(5, "weibull", 700.0, 0.7),),
+    n_tasks=64,
+))
+register_scenario(Scenario(
+    name="weibull-wearout",
+    description="Weibull k=1.8 (increasing hazard) — wear-out style failures.",
+    axes=("distribution:weibull", "hazard:increasing"),
+    laws=(FailureLaw(5, "weibull", 700.0, 1.8),),
+    n_tasks=64,
+    quick=True,
+))
+register_scenario(Scenario(
+    name="pareto-moderate-tail",
+    description="Pareto alpha=2.5 intervals (finite variance heavy tail).",
+    axes=("distribution:pareto", "tail:moderate"),
+    laws=(FailureLaw(4, "pareto", 800.0, 2.5),),
+    n_tasks=64,
+))
+register_scenario(Scenario(
+    name="pareto-heavy-tail",
+    description="Pareto alpha=1.4 intervals — infinite-variance preemption gaps "
+                "(the Fig. 5 pooled-population regime).",
+    axes=("distribution:pareto", "tail:heavy"),
+    laws=(FailureLaw(3, "pareto", 900.0, 1.4),),
+    n_tasks=64,
+))
+register_scenario(Scenario(
+    name="lognormal-intervals",
+    description="LogNormal sigma=1.2 intervals — multiplicative interval noise.",
+    axes=("distribution:lognormal",),
+    laws=(FailureLaw(6, "lognormal", 700.0, 1.2),),
+    n_tasks=64,
+))
+register_scenario(Scenario(
+    name="mixture-body-tail",
+    description="Exponential body + Pareto tail mixture, the calibrated "
+                "catalog's pooled per-priority shape.",
+    axes=("distribution:mixture", "tail:pareto"),
+    laws=(FailureLaw(5, "mixture", 400.0),),
+    n_tasks=64,
+))
+
+# -- storage axis -------------------------------------------------------
+register_scenario(Scenario(
+    name="storage-nfs-contended",
+    description="One shared NFS server under simultaneous checkpoint writers; "
+                "the DES prices Table 2 congestion the analytic tiers cannot.",
+    axes=("storage:nfs", "contention:high"),
+    laws=(_exp(4, 500.0),),
+    n_tasks=40,
+    n_hosts=4,
+    storage="nfs",
+    compare="stats",
+))
+register_scenario(Scenario(
+    name="storage-dmnfs",
+    description="DM-NFS (one server per host, random pick): contention is rare, "
+                "so costs stay near the uncontended shared quote (Table 3).",
+    axes=("storage:dmnfs", "contention:low"),
+    laws=(_exp(4, 500.0),),
+    n_tasks=48,
+    n_hosts=16,
+    storage="dmnfs",
+    compare="stats",
+))
+register_scenario(Scenario(
+    name="storage-auto-selection",
+    description="Per-task §4.2.2 local-vs-shared selection; tasks split across "
+                "migration types A and B.",
+    axes=("storage:auto", "selector:4.2.2"),
+    laws=(_exp(2, 250.0), _exp(7, 2500.0)),
+    n_tasks=56,
+    storage="auto",
+    compare="stats",
+))
+
+# -- restart-delay / overhead axis -------------------------------------
+register_scenario(Scenario(
+    name="restart-delay-long",
+    description="Slow failure detection (30 s) and heavy placement (5 s): the "
+                "per-failure delay term dominates the wallclock.",
+    axes=("delay:detection", "delay:placement"),
+    laws=(_exp(3, 400.0),),
+    n_tasks=48,
+    failure_detection_delay=30.0,
+    placement_overhead=5.0,
+))
+register_scenario(Scenario(
+    name="restart-delay-zero",
+    description="Instant detection and placement — the pure model with zero "
+                "exogenous delays.",
+    axes=("delay:none",),
+    laws=(_exp(3, 400.0),),
+    n_tasks=48,
+    failure_detection_delay=0.0,
+    placement_overhead=0.0,
+))
+register_scenario(Scenario(
+    name="checkpoint-costly-mem",
+    description="Large memory images (180-240 MB): checkpoints near the top of "
+                "the Fig. 7 cost range, few intervals are optimal.",
+    axes=("memory:large", "cost:high"),
+    laws=(_exp(5, 600.0),),
+    n_tasks=40,
+    mem_mean=210.0,
+    mem_sigma=0.08,
+    mem_min=180.0,
+    mem_max=240.0,
+))
+register_scenario(Scenario(
+    name="checkpoint-cheap-mem",
+    description="Tiny memory images: near-free checkpoints, many intervals.",
+    axes=("memory:small", "cost:low"),
+    laws=(_exp(5, 600.0),),
+    n_tasks=56,
+    mem_mean=12.0,
+    mem_sigma=0.1,
+    mem_min=10.0,
+    mem_max=16.0,
+))
+
+# -- policy axis --------------------------------------------------------
+register_scenario(Scenario(
+    name="policy-young",
+    description="Young's sqrt(2*C*MTBF) interval applied to finite tasks.",
+    axes=("policy:young",),
+    laws=(_exp(4, 800.0),),
+    n_tasks=48,
+    policy="young",
+))
+register_scenario(Scenario(
+    name="policy-daly",
+    description="Daly's higher-order interval as the checkpoint policy.",
+    axes=("policy:daly",),
+    laws=(_exp(4, 800.0),),
+    n_tasks=48,
+    policy="daly",
+))
+register_scenario(Scenario(
+    name="policy-fixed-interval",
+    description="Naive fixed 120 s checkpoint interval (ablation baseline).",
+    axes=("policy:fixed-interval",),
+    laws=(_exp(4, 700.0),),
+    n_tasks=48,
+    policy="fixed-interval",
+    policy_param=120.0,
+))
+register_scenario(Scenario(
+    name="policy-no-checkpoint",
+    description="Never checkpoint: every failure restarts from scratch.",
+    axes=("policy:none", "rollback:full"),
+    laws=(_exp(6, 1500.0),),
+    n_tasks=48,
+    policy="none",
+    quick=True,
+))
+
+# -- task-shape axis ----------------------------------------------------
+register_scenario(Scenario(
+    name="long-tasks",
+    description="Two-hour tasks under moderate failure rates: deep checkpoint "
+                "grids and multi-failure executions.",
+    axes=("te:long",),
+    laws=(_exp(5, 2500.0),),
+    n_tasks=24,
+    te_mode="fixed",
+    te_mean=7200.0,
+))
+register_scenario(Scenario(
+    name="short-tasks",
+    description="One-minute tasks where overheads rival productive work.",
+    axes=("te:short",),
+    laws=(_exp(5, 300.0),),
+    n_tasks=80,
+    te_mode="fixed",
+    te_mean=60.0,
+    quick=True,
+))
+
+# -- cluster-shape / arrival axis --------------------------------------
+register_scenario(Scenario(
+    name="hetero-hosts",
+    description="Heterogeneous deployment: VM counts cycle 2/7/3/5 per host, "
+                "skewing the greedy scheduler's placement order.",
+    axes=("hosts:heterogeneous", "scheduler:greedy"),
+    laws=(_exp(5, 600.0),),
+    n_tasks=60,
+    n_hosts=6,
+    vms_per_host_pattern=(2, 7, 3, 5),
+))
+register_scenario(Scenario(
+    name="tight-capacity-queueing",
+    description="Six VMs for 48 simultaneous tasks: deep FIFO queueing; "
+                "service-time agreement must survive saturation.",
+    axes=("capacity:tight", "queue:deep"),
+    laws=(_exp(5, 700.0),),
+    n_tasks=48,
+    n_hosts=2,
+    vms_per_host=3,
+))
+register_scenario(Scenario(
+    name="bursty-arrivals",
+    description="Flash crowds: bursts of 12 simultaneous submissions.",
+    axes=("arrival:bursty",),
+    laws=(_exp(5, 600.0),),
+    n_tasks=60,
+    arrival="bursty",
+    burst_size=12,
+    arrival_rate=0.3,
+))
+register_scenario(Scenario(
+    name="steady-arrivals",
+    description="Poisson arrivals at 0.2 jobs/s — the classic open system.",
+    axes=("arrival:steady",),
+    laws=(_exp(5, 600.0),),
+    n_tasks=48,
+    arrival="steady",
+    arrival_rate=0.2,
+))
+
+# -- synthesized Google-like traces ------------------------------------
+register_scenario(Scenario(
+    name="google-trace-steady",
+    description="Synthesized Google-like trace (frailty ground truth, mixed "
+                "ST/BoT jobs) with Poisson arrivals, local storage.",
+    axes=("workload:google-like", "arrival:steady", "frailty:per-task"),
+    laws=(),
+    from_trace=True,
+    trace_jobs=30,
+    arrival_rate=0.5,
+    mem_max=800.0,
+    te_max=20000.0,
+))
+register_scenario(Scenario(
+    name="google-trace-bursty",
+    description="Synthesized Google-like trace arriving in bursts of 10 — the "
+                "new bursty synthesizer mode end-to-end.",
+    axes=("workload:google-like", "arrival:bursty", "frailty:per-task"),
+    laws=(),
+    from_trace=True,
+    trace_jobs=24,
+    trace_arrival="bursty",
+    trace_burst_size=10,
+    arrival_rate=0.5,
+    mem_max=800.0,
+    te_max=20000.0,
+    quick=True,
+))
+
+# -- host-crash axis (DES-only physics -> loose bounds) ----------------
+register_scenario(Scenario(
+    name="host-crashes-shared",
+    description="Host crashes (MTBF 4000 s) with shared checkpoints: images "
+                "survive the crash, tasks restart elsewhere (§2 liveness).",
+    axes=("hosts:crashing", "storage:dmnfs", "liveness:restart"),
+    laws=(_exp(5, 800.0),),
+    n_tasks=40,
+    storage="dmnfs",
+    host_mtbf=4000.0,
+    host_repair_time=60.0,
+    compare="loose",
+    loose_lo=0.7,
+    loose_hi=3.0,
+))
+register_scenario(Scenario(
+    name="host-crashes-local-wipe",
+    description="Host crashes with local ramdisk checkpoints: the image dies "
+                "with the host and the task restarts from scratch — §1's "
+                "reliability argument for shared disks.",
+    axes=("hosts:crashing", "storage:local", "rollback:wipe"),
+    laws=(_exp(5, 800.0),),
+    n_tasks=40,
+    storage="local",
+    host_mtbf=900.0,
+    host_repair_time=60.0,
+    compare="loose",
+    loose_lo=0.7,
+    loose_hi=6.0,
+))

@@ -1,0 +1,135 @@
+"""Hypothesis property tests for the closed-form formulas (Theorem 1 / Eq. 4).
+
+Complements ``test_properties.py``'s convexity check with the algebraic
+invariants the verification subsystem leans on: positivity and
+monotonicity of the optimal interval count, the Eq. 4 lower bound
+``E(Tw) >= Te``, and the Young/Daly relationship (Daly's higher-order
+series is an exact ``-2C/3 + (C/9)sqrt(C/2M)`` correction of Young's
+first-order interval for ``C < 2M``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.formulas import (
+    daly_interval,
+    expected_wallclock,
+    interval_to_count,
+    optimal_expected_wallclock,
+    optimal_interval_count,
+    optimal_interval_count_int,
+    young_interval,
+)
+from repro.core.policies import DalyPolicy, TaskProfile, YoungPolicy
+
+te_vals = st.floats(min_value=1.0, max_value=1e6)
+c_vals = st.floats(min_value=1e-3, max_value=100.0)
+r_vals = st.floats(min_value=0.0, max_value=100.0)
+mnof_vals = st.floats(min_value=1e-4, max_value=1e3)
+mtbf_vals = st.floats(min_value=1.0, max_value=1e7)
+scale_up = st.floats(min_value=1.0 + 1e-6, max_value=100.0)
+
+
+class TestOptimalCountProperties:
+    @given(te=te_vals, mnof=mnof_vals, c=c_vals)
+    def test_positivity(self, te, mnof, c):
+        assert optimal_interval_count(te, mnof, c) > 0
+        assert optimal_interval_count_int(te, mnof, c) >= 1
+
+    @given(te=te_vals, mnof=mnof_vals, c=c_vals, k=scale_up)
+    def test_monotone_increasing_in_mnof(self, te, mnof, c, k):
+        """More expected failures never call for fewer intervals."""
+        assert (
+            optimal_interval_count(te, mnof * k, c)
+            >= optimal_interval_count(te, mnof, c)
+        )
+        assert (
+            optimal_interval_count_int(te, mnof * k, c)
+            >= optimal_interval_count_int(te, mnof, c)
+        )
+
+    @given(te=te_vals, mnof=mnof_vals, c=c_vals, k=scale_up)
+    def test_monotone_decreasing_in_c(self, te, mnof, c, k):
+        """Costlier checkpoints never call for more intervals."""
+        assert (
+            optimal_interval_count(te, mnof, c * k)
+            <= optimal_interval_count(te, mnof, c)
+        )
+        assert (
+            optimal_interval_count_int(te, mnof, c * k)
+            <= optimal_interval_count_int(te, mnof, c)
+        )
+
+    @given(te=te_vals, mnof=mnof_vals, c=c_vals, k=scale_up)
+    def test_monotone_increasing_in_te(self, te, mnof, c, k):
+        assert (
+            optimal_interval_count(te * k, mnof, c)
+            >= optimal_interval_count(te, mnof, c)
+        )
+
+    @given(te=te_vals, mnof=st.floats(min_value=0.0, max_value=1e3),
+           c=c_vals, r=r_vals, x=st.integers(min_value=1, max_value=10_000))
+    def test_wallclock_at_least_te(self, te, mnof, c, r, x):
+        """Eq. 4: overheads only ever add to the productive length."""
+        assert expected_wallclock(te, x, c, r, mnof) >= te
+
+    @given(te=te_vals, mnof=mnof_vals, c=c_vals, r=r_vals,
+           x=st.integers(min_value=1, max_value=10_000))
+    def test_real_optimum_lower_bounds_integers(self, te, mnof, c, r, x):
+        """The real-valued optimum is a lower bound over all integer x."""
+        lower = optimal_expected_wallclock(te, mnof, c, r)
+        assert lower <= expected_wallclock(te, x, c, r, mnof) * (1 + 1e-12)
+
+    @given(te=te_vals, mtbf=mtbf_vals, c=c_vals)
+    def test_young_is_theorem1_special_case(self, te, mtbf, c):
+        """Corollary 1: with E(Y) = Te/Tf, Theorem 1's count equals
+        Te / Young's interval exactly."""
+        x_thm = float(optimal_interval_count(te, te / mtbf, c))
+        x_young = te / float(young_interval(c, mtbf))
+        assert x_thm == pytest.approx(x_young, rel=1e-9)
+
+
+class TestYoungDalyConsistency:
+    @given(c=c_vals, mtbf=mtbf_vals)
+    def test_daly_is_bounded_young_correction(self, c, mtbf):
+        """For C < 2M: ``daly = young - 2C/3 + (C/9) sqrt(C/2M)``, so
+        Daly's interval is always the shorter one, by at most 2C/3."""
+        if not c < 2.0 * mtbf:
+            return
+        young = float(young_interval(c, mtbf))
+        daly = float(daly_interval(c, mtbf))
+        assert daly <= young
+        assert young - daly <= 2.0 * c / 3.0 + 1e-9 * young
+        expected = young - 2.0 * c / 3.0 + (c / 9.0) * np.sqrt(c / (2.0 * mtbf))
+        assert daly == pytest.approx(expected, rel=1e-12, abs=1e-12)
+
+    @settings(max_examples=50)
+    @given(te=st.floats(min_value=60.0, max_value=1e5),
+           c=st.floats(min_value=0.01, max_value=10.0),
+           mtbf=st.floats(min_value=100.0, max_value=1e6))
+    def test_policies_agree_within_one_count(self, te, c, mtbf):
+        """The policy wrappers of Young and Daly round the near-identical
+        intervals to counts at most one apart."""
+        profile = TaskProfile(te=te, checkpoint_cost=c, mtbf=mtbf)
+        ny = YoungPolicy().interval_count(profile)
+        nd = DalyPolicy().interval_count(profile)
+        assert nd >= ny >= 1
+        # Daly's interval is shorter by < 2C/3, so the count ratio is
+        # bounded by young/daly interval ratio (plus rounding).
+        young = float(young_interval(c, mtbf))
+        daly = float(daly_interval(c, mtbf))
+        assert nd <= int(np.ceil((te / daly) + 1.0))
+        assert abs(nd - ny) <= int(np.ceil(te * (young - daly) / (young * daly))) + 1
+
+    @given(te=te_vals, interval=st.floats(min_value=1.0, max_value=1e6))
+    def test_interval_to_count_inverts_reasonably(self, te, interval):
+        x = interval_to_count(te, interval)
+        assert x >= 1
+        # the implied interval length is within a factor 2 of the request
+        # whenever at least one full interval fits
+        if interval <= te / 1.5:
+            assert te / x <= 2.0 * interval

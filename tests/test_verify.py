@@ -1,0 +1,324 @@
+"""Tests for the cross-tier differential verification subsystem."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.core.simulate import simulate_task, simulate_tasks
+from repro.failures.catalog import ExplicitCatalog
+from repro.failures.distributions import Exponential, Weibull
+from repro.failures.injector import FailureInjector
+from repro.trace.synthesizer import TraceConfig, synthesize_trace
+from repro.verify import (
+    SCENARIOS,
+    Scenario,
+    build_workload,
+    get_scenario,
+    list_scenarios,
+    run_scenario,
+)
+from repro.verify.cli import main as verify_main
+from repro.verify.compare import ks_statistic, ks_threshold
+from repro.verify.golden import (
+    compare_with_golden,
+    golden_payload,
+    load_golden,
+    write_golden,
+)
+from repro.verify.runner import run_des, run_scalar, run_vector
+from repro.verify.scenarios import FailureLaw, make_distribution, make_policy
+
+
+QUICK = "exp-baseline-local"
+
+
+class TestScenarioRegistry:
+    def test_at_least_25_scenarios(self):
+        assert len(SCENARIOS) >= 25
+
+    def test_quick_subset_nonempty(self):
+        assert 3 <= len(list_scenarios(quick_only=True)) < len(SCENARIOS)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("no-such-scenario")
+
+    def test_axes_cover_paper_dimensions(self):
+        axes = {a for s in SCENARIOS.values() for a in s.axes}
+        for expected in (
+            "distribution:exponential", "distribution:weibull",
+            "distribution:pareto", "storage:local", "storage:nfs",
+            "arrival:bursty", "hosts:heterogeneous", "hosts:crashing",
+            "policy:young",
+        ):
+            assert expected in axes, f"missing axis {expected}"
+
+    def test_duplicate_priorities_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Scenario(
+                name="dup", description="", axes=(),
+                laws=(FailureLaw(5, "exponential", 100.0),
+                      FailureLaw(5, "exponential", 200.0)),
+            )
+
+    def test_make_distribution_means(self, rng):
+        for family, shape in (
+            ("exponential", 0.0), ("weibull", 0.7), ("weibull", 1.8),
+            ("pareto", 2.5), ("lognormal", 1.0),
+        ):
+            dist = make_distribution(family, 500.0, shape)
+            assert dist.mean() == pytest.approx(500.0, rel=1e-9)
+
+    def test_make_distribution_unknown(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            make_distribution("cauchy", 100.0)
+
+    def test_make_policy_unknown(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("zigzag")
+
+
+class TestDeterminism:
+    """Same seed -> identical results, across all three tiers."""
+
+    def test_workload_build_is_pure(self):
+        spec = get_scenario(QUICK)
+        w1 = build_workload(spec, base_seed=0)
+        w2 = build_workload(spec, base_seed=0)
+        np.testing.assert_array_equal(w1.te, w2.te)
+        np.testing.assert_array_equal(w1.intervals, w2.intervals)
+        np.testing.assert_array_equal(w1.checkpoint_cost, w2.checkpoint_cost)
+
+    def test_base_seed_changes_workload(self):
+        spec = get_scenario(QUICK)
+        w1 = build_workload(spec, base_seed=0)
+        w2 = build_workload(spec, base_seed=1)
+        assert not np.array_equal(w1.te, w2.te)
+
+    def test_scalar_tier_bit_identical(self):
+        w = build_workload(get_scenario(QUICK))
+        assert run_scalar(w).digest == run_scalar(w).digest
+
+    def test_vector_tier_bit_identical(self):
+        w = build_workload(get_scenario(QUICK))
+        assert run_vector(w).digest == run_vector(w).digest
+
+    def test_des_tier_bit_identical_and_same_event_count(self):
+        w = build_workload(get_scenario(QUICK))
+        d1, d2 = run_des(w), run_des(w)
+        assert d1.digest == d2.digest
+        assert d1.extra["n_events"] == d2.extra["n_events"] > 0
+
+    def test_simulate_task_same_injector_seed(self):
+        dist = Exponential(1.0 / 400.0)
+        outs = [
+            simulate_task(
+                te=300.0, intervals=5, checkpoint_cost=1.0, restart_cost=2.0,
+                injector=FailureInjector(dist, np.random.default_rng(42)),
+            )
+            for _ in range(2)
+        ]
+        assert outs[0] == outs[1]
+
+    def test_simulate_tasks_same_seed(self):
+        dists = {0: Weibull(1.5, 500.0)}
+        kwargs = dict(
+            te=np.full(16, 300.0), intervals=np.full(16, 4),
+            checkpoint_cost=np.full(16, 1.0), restart_cost=np.full(16, 2.0),
+            dist_ids=np.zeros(16, dtype=int), distributions=dists,
+        )
+        r1 = simulate_tasks(rng=np.random.default_rng(7), **kwargs)
+        r2 = simulate_tasks(rng=np.random.default_rng(7), **kwargs)
+        assert r1.digest() == r2.digest()
+
+
+class TestCrossTierAgreement:
+    def test_exact_scenario_aligns_des_per_task(self):
+        result = run_scenario(get_scenario(QUICK))
+        assert result.passed, [c for c in result.checks if not c.passed]
+        scalar = result.tiers["scalar"]
+        des = result.tiers["des"]
+        np.testing.assert_array_equal(scalar.n_failures, des.n_failures)
+        np.testing.assert_allclose(des.wallclock, scalar.wallclock,
+                                   rtol=1e-7, atol=1e-5)
+        assert scalar.summary["total_failures"] > 0  # not vacuous
+
+    def test_quick_subset_zero_violations(self):
+        for spec in list_scenarios(quick_only=True):
+            result = run_scenario(spec)
+            assert result.passed, (
+                spec.name, [c.to_dict() for c in result.checks if not c.passed]
+            )
+
+    def test_report_fragment_is_json_ready(self):
+        result = run_scenario(get_scenario("policy-no-checkpoint"))
+        json.dumps(result.to_dict())  # must not raise
+
+
+class TestGolden:
+    def test_roundtrip_and_digest_pin(self, tmp_path):
+        result = run_scenario(get_scenario(QUICK))
+        write_golden(result, tmp_path)
+        golden = load_golden(QUICK, tmp_path)
+        assert golden is not None
+        checks = compare_with_golden(result, golden)
+        assert all(c.passed for c in checks)
+
+    def test_missing_golden_is_a_violation(self):
+        result = run_scenario(get_scenario(QUICK))
+        checks = compare_with_golden(result, None)
+        assert len(checks) == 1 and not checks[0].passed
+
+    def test_corrupted_digest_trips(self, tmp_path):
+        result = run_scenario(get_scenario(QUICK))
+        payload = golden_payload(result)
+        payload["scalar"]["digest"] = "0" * 64
+        failed = [c for c in compare_with_golden(result, payload) if not c.passed]
+        assert any(c.name == "golden:scalar-digest" for c in failed)
+
+    def test_seed_mismatch_trips(self, tmp_path):
+        result = run_scenario(get_scenario(QUICK))
+        payload = golden_payload(result)
+        payload["seed"] = payload["seed"] + 1
+        failed = [c for c in compare_with_golden(result, payload) if not c.passed]
+        assert any(c.name == "golden:seed" for c in failed)
+
+
+class TestVerifyCLI:
+    def test_list(self, capsys):
+        assert verify_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "exp-baseline-local" in out and "[quick]" in out
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert verify_main(["definitely-not-a-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_conflicting_golden_flags_exit_2(self):
+        with pytest.raises(SystemExit) as exc:
+            verify_main(["--update-golden", "--no-golden"])
+        assert exc.value.code == 2
+
+    def test_update_golden_with_nonzero_seed_exit_2(self):
+        with pytest.raises(SystemExit) as exc:
+            verify_main(["--update-golden", "--seed", "3"])
+        assert exc.value.code == 2
+
+    def test_nonzero_seed_auto_skips_golden(self, capsys, tmp_path):
+        # No goldens exist in tmp_path, yet a non-default seed must not
+        # fail on them: golden comparison is skipped with a notice.
+        assert verify_main(
+            [QUICK, "--seed", "3", "--golden-dir", str(tmp_path)]
+        ) == 0
+        assert "skipping golden comparison" in capsys.readouterr().out
+
+    def test_named_non_quick_with_quick_flag_errors(self, capsys):
+        # exp-rare-failures is not in the quick subset: naming it with
+        # --quick must error rather than silently drop it.
+        assert verify_main(
+            ["exp-baseline-local", "exp-rare-failures", "--quick"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "not in the quick subset" in err
+        assert "exp-rare-failures" in err
+
+    def test_single_scenario_no_golden(self, capsys, tmp_path):
+        report = tmp_path / "report.json"
+        assert verify_main(
+            [QUICK, "--no-golden", "--report", str(report)]
+        ) == 0
+        payload = json.loads(report.read_text())
+        assert payload["passed"] and payload["n_scenarios"] == 1
+
+    def test_update_then_check_golden(self, capsys, tmp_path):
+        assert verify_main(
+            [QUICK, "--update-golden", "--golden-dir", str(tmp_path)]
+        ) == 0
+        assert verify_main(
+            [QUICK, "--golden-dir", str(tmp_path)]
+        ) == 0
+
+    def test_missing_golden_fails(self, capsys, tmp_path):
+        assert verify_main([QUICK, "--golden-dir", str(tmp_path)]) == 1
+        assert "VIOLATION" in capsys.readouterr().out
+
+    def test_toplevel_cli_dispatches_verify(self, capsys):
+        from repro.cli import main as toplevel
+        assert toplevel(["verify", "--list"]) == 0
+        assert "exp-baseline-local" in capsys.readouterr().out
+
+    def test_toplevel_cli_keeps_legacy_experiments(self, capsys):
+        from repro.cli import main as toplevel
+        assert toplevel(["--list"]) == 0
+        assert "fig9" in capsys.readouterr().out.split()
+
+
+class TestVerifyExperiment:
+    def test_registered_and_runs(self):
+        from repro.experiments.registry import run_experiment
+
+        report = run_experiment("verify")
+        assert report.data["passed"] is True
+        assert report.data["total_violations"] == 0
+        assert len(report.data["scenarios"]) >= 3
+
+
+class TestSupportingInfra:
+    def test_explicit_catalog_interface(self):
+        cat = ExplicitCatalog({1: Exponential(0.01), 5: Weibull(1.5, 300.0)})
+        assert cat.priorities == (1, 5)
+        assert cat.mtbf(1) == pytest.approx(100.0)
+        assert cat.expected_mnof(1, te=500.0) == pytest.approx(5.0)
+        with pytest.raises(KeyError):
+            cat.interval_distribution(3)
+        with pytest.raises(ValueError):
+            ExplicitCatalog({})
+        with pytest.raises(TypeError):
+            ExplicitCatalog({1: "not-a-distribution"})
+
+    def test_cluster_heterogeneous_pattern(self):
+        cfg = ClusterConfig(n_hosts=4, vms_per_host_pattern=(2, 7))
+        assert [cfg.vms_on_host(h) for h in range(4)] == [2, 7, 2, 7]
+        assert cfg.n_vms == 18
+        with pytest.raises(ValueError, match="pattern"):
+            ClusterConfig(vms_per_host_pattern=())
+        with pytest.raises(ValueError, match=">= 1"):
+            ClusterConfig(vms_per_host_pattern=(0,))
+        with pytest.raises(ValueError, match="exceeds host memory"):
+            ClusterConfig(vms_per_host_pattern=(64,))
+
+    def test_bursty_synthesizer_groups_arrivals(self):
+        cfg = TraceConfig(
+            n_jobs=24, arrival_pattern="bursty", burst_size=6, arrival_rate=0.5
+        )
+        trace = synthesize_trace(cfg, seed=3)
+        times = [j.submit_time for j in trace]
+        assert len(set(times)) == 4  # 24 jobs / bursts of 6
+        for k in range(4):
+            assert len({times[6 * k + i] for i in range(6)}) == 1
+
+    def test_bursty_config_validation(self):
+        with pytest.raises(ValueError, match="arrival_pattern"):
+            TraceConfig(arrival_pattern="fractal")
+        with pytest.raises(ValueError, match="burst_size"):
+            TraceConfig(arrival_pattern="bursty", burst_size=0)
+
+    def test_engine_events_processed_counts(self):
+        from repro.sim.engine import Environment
+
+        env = Environment()
+        env.timeout(1.0)
+        env.timeout(2.0)
+        assert env.events_processed == 0
+        env.run()
+        assert env.events_processed == 2
+
+    def test_ks_statistic_basics(self, rng):
+        a = rng.normal(0, 1, 400)
+        assert ks_statistic(a, a) == 0.0
+        b = rng.normal(3, 1, 400)
+        assert ks_statistic(a, b) > ks_threshold(400, 400)
