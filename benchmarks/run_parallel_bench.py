@@ -1,0 +1,137 @@
+"""Record the Monte-Carlo hot-path and sweep-runner perf trajectory.
+
+Times the PR-1 baseline (:func:`repro.core.simulate.simulate_tasks`,
+one stream, per-round regrouping) against the blocked fast path and the
+sharded parallel runner on ≥100k-task batches, verifies the sharded
+digests are worker-count invariant, and writes the result as
+``BENCH_parallel.json`` — the committed perf record the CI benchmark
+smoke job extends on every push.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_parallel_bench.py [--out PATH]
+        [--n-tasks N] [--repeats K]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro._version import __version__
+from repro.core.simulate import simulate_tasks, simulate_tasks_blocked
+from repro.failures.distributions import Exponential, Pareto
+from repro.parallel import simulate_tasks_sharded
+from repro.parallel.sweep import build_grid, run_sweep
+
+
+def _best_of(repeats, fn):
+    times = []
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - t0)
+    return min(times), result
+
+
+def bench_hot_path(n_tasks: int, repeats: int) -> dict:
+    """Baseline vs blocked vs sharded on catalog- and per-task-law batches."""
+    rng = np.random.default_rng(0)
+    te = rng.uniform(100, 2000, n_tasks)
+    x = np.maximum(1, (np.sqrt(te) / 3).astype(np.int64))
+    c = rng.uniform(0.1, 2.0, n_tasks)
+    r = rng.uniform(0.5, 3.0, n_tasks)
+
+    workloads = {
+        # The evaluate_policy redraw shape: one law per priority group.
+        "catalog-2-laws": (
+            {0: Exponential(1 / 300.0), 1: Pareto(100.0, 1.3)},
+            np.arange(n_tasks) % 2,
+        ),
+        # The trace-driven verify shape: one law per task (frailty).
+        "per-task-laws": (
+            {i: Exponential(1.0 / s)
+             for i, s in enumerate(rng.uniform(100, 1000, 2000))},
+            np.arange(n_tasks) % 2000,
+        ),
+    }
+    out = {}
+    for name, (dists, ids) in workloads.items():
+        t_base, res_base = _best_of(repeats, lambda: simulate_tasks(
+            te, x, c, r, ids, dists, np.random.default_rng(1)))
+        t_blk, res_blk = _best_of(repeats, lambda: simulate_tasks_blocked(
+            te, x, c, r, ids, dists, np.random.default_rng(1)))
+        sharded = {}
+        digests = set()
+        for w in (1, 2, 4):
+            t_sh, res_sh = _best_of(repeats, lambda: simulate_tasks_sharded(
+                te, x, c, r, ids, dists, seed=42, workers=w))
+            sharded[str(w)] = round(t_sh, 4)
+            digests.add(res_sh.digest())
+        assert len(digests) == 1, "sharded digests differ across workers!"
+        out[name] = {
+            "baseline_simulate_tasks_s": round(t_base, 4),
+            "blocked_fast_path_s": round(t_blk, 4),
+            "speedup_blocked_vs_baseline": round(t_base / t_blk, 3),
+            "sharded_s_by_workers": sharded,
+            "sharded_digest_worker_invariant": True,
+            "mean_failures": round(res_base.summary()["mean_failures"], 3),
+            "blocked_mean_wallclock": round(
+                res_blk.summary()["mean_wallclock"], 3),
+        }
+    return out
+
+
+def bench_sweep(repeats: int) -> dict:
+    """A small policy × storage grid through the sweep runner."""
+    points = build_grid(["optimal", "young"], ["auto", "local"], [300], [0])
+    t_serial, rep1 = _best_of(repeats, lambda: run_sweep(points, workers=1))
+    t_pool, rep2 = _best_of(repeats, lambda: run_sweep(points, workers=2))
+    d1 = [p["digest"] for p in rep1["points"]]
+    d2 = [p["digest"] for p in rep2["points"]]
+    assert d1 == d2, "sweep digests differ across workers!"
+    return {
+        "grid": "2 policies x 2 storage x 300 jobs",
+        "n_points": len(points),
+        "serial_s": round(t_serial, 4),
+        "workers2_s": round(t_pool, 4),
+        "digests_worker_invariant": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_parallel.json")
+    parser.add_argument("--n-tasks", type=int, default=200_000)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    payload = {
+        "benchmark": "parallel-sweep-and-mc-hot-path",
+        "version": __version__,
+        "n_tasks": args.n_tasks,
+        "repeats": args.repeats,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "hot_path": bench_hot_path(args.n_tasks, args.repeats),
+        "sweep": bench_sweep(args.repeats),
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"[written to {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

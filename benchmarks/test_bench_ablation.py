@@ -27,7 +27,6 @@ from repro.core.policies import (
     YoungPolicy,
 )
 from repro.experiments.common import default_trace, evaluate_policy, flatten_trace
-from repro.experiments.common import _simulate_redraw_scaled  # noqa: F401
 from repro.failures.catalog import google_like_catalog
 from repro.trace.sampler import failed_job_sample
 from repro.trace.synthesizer import TraceConfig, synthesize_trace

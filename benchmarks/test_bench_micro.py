@@ -10,9 +10,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.simulate import simulate_tasks, simulate_tasks_replay
+from repro.core.simulate import (
+    simulate_tasks,
+    simulate_tasks_blocked,
+    simulate_tasks_replay,
+)
 from repro.failures.distributions import Exponential, Pareto
 from repro.failures.fitting import fit_all
+from repro.parallel import simulate_tasks_sharded
 from repro.sim.engine import Environment
 from repro.trace.synthesizer import TraceConfig, synthesize_trace
 
@@ -50,6 +55,58 @@ def test_mc_redraw_throughput(benchmark, batch):
     def run():
         return simulate_tasks(
             te, x, c, r, ids, dists, np.random.default_rng(1)
+        )
+
+    res = benchmark(run)
+    assert res.n_tasks == N_TASKS
+
+
+def test_mc_blocked_redraw_throughput(benchmark, batch):
+    """50k-task fresh-draw simulation through the blocked fast path
+    (pre-drawn sample blocks + compacted working arrays)."""
+    te, x, c, r, _ = batch
+    dists = {0: Exponential(1 / 300.0), 1: Pareto(100.0, 1.3)}
+    ids = (np.arange(N_TASKS) % 2)
+
+    def run():
+        return simulate_tasks_blocked(
+            te, x, c, r, ids, dists, np.random.default_rng(1)
+        )
+
+    res = benchmark(run)
+    assert res.n_tasks == N_TASKS
+
+
+def test_mc_blocked_per_task_laws_throughput(benchmark, batch):
+    """50k tasks over 2000 distinct interval laws — the trace-driven
+    frailty shape where per-round regrouping dominates the reference
+    implementation."""
+    te, x, c, r, _ = batch
+    rng = np.random.default_rng(9)
+    dists = {i: Exponential(1.0 / s)
+             for i, s in enumerate(rng.uniform(100, 1000, 2000))}
+    ids = (np.arange(N_TASKS) % 2000)
+
+    def run():
+        return simulate_tasks_blocked(
+            te, x, c, r, ids, dists, np.random.default_rng(1)
+        )
+
+    res = benchmark(run)
+    assert res.n_tasks == N_TASKS
+
+
+def test_mc_sharded_serial_throughput(benchmark, batch):
+    """50k tasks through the sharded runner (serial fallback): the
+    chunking + SeedSequence spawning + merge overhead on top of the
+    blocked kernel."""
+    te, x, c, r, _ = batch
+    dists = {0: Exponential(1 / 300.0), 1: Pareto(100.0, 1.3)}
+    ids = (np.arange(N_TASKS) % 2)
+
+    def run():
+        return simulate_tasks_sharded(
+            te, x, c, r, ids, dists, seed=42, workers=1
         )
 
     res = benchmark(run)

@@ -6,6 +6,7 @@ Usage::
     repro experiments fig9 tab6
     repro verify --quick              # cross-tier differential verification
     repro verify --update-golden
+    repro sweep --workers 4           # parallel experiment-grid runner
 
     repro-experiments fig9            # legacy alias, still supported
 
@@ -46,6 +47,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.verify.cli import main as verify_main
 
         return verify_main(args[1:])
+    if args and args[0] == "sweep":
+        from repro.parallel.sweep import main as sweep_main
+
+        return sweep_main(args[1:])
     if args and args[0] == "experiments":
         args = args[1:]
     return main_experiments(args)

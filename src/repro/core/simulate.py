@@ -35,6 +35,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.failures.distributions import Distribution
+from repro.metrics.wpr import wpr_array, wpr_ratio
 
 __all__ = [
     "SimulationResult",
@@ -42,7 +43,16 @@ __all__ = [
     "simulate_task",
     "simulate_task_two_phase",
     "simulate_tasks",
+    "simulate_tasks_blocked",
+    "simulate_tasks_scaled",
 ]
+
+#: How many segment rounds of failure samples the blocked fast path
+#: pre-draws per distribution at a time.  Purely a throughput knob for
+#: :func:`simulate_tasks_blocked` — results are deterministic for a
+#: fixed ``(rng seed, inputs, block_rounds)`` triple, but changing the
+#: block size changes the draw order (like changing the seed).
+DEFAULT_BLOCK_ROUNDS = 8
 
 
 @dataclass(frozen=True)
@@ -58,8 +68,13 @@ class TaskOutcome:
 
     @property
     def wpr(self) -> float:
-        """Workload-processing ratio ``Te / Tw`` (Eq. 9 for one task)."""
-        return self.te / self.wallclock if self.wallclock > 0 else 0.0
+        """Workload-processing ratio ``Te / Tw`` (Eq. 9 for one task).
+
+        Uses the canonical clamped definition shared with
+        :mod:`repro.metrics.wpr`: the ratio is clamped to ``[0, 1]``
+        and ``wallclock <= 0`` maps to ``0.0``.
+        """
+        return wpr_ratio(self.te, self.wallclock)
 
 
 def simulate_task(
@@ -130,11 +145,9 @@ class SimulationResult:
 
     @property
     def wpr(self) -> np.ndarray:
-        """Per-task workload-processing ratio ``Te / Tw``."""
-        out = np.zeros_like(self.wallclock)
-        mask = self.wallclock > 0
-        out[mask] = self.te[mask] / self.wallclock[mask]
-        return out
+        """Per-task workload-processing ratio ``Te / Tw`` under the
+        canonical clamped semantics of :mod:`repro.metrics.wpr`."""
+        return wpr_array(self.te, self.wallclock)
 
     @property
     def n_tasks(self) -> int:
@@ -151,6 +164,9 @@ class SimulationResult:
         Means and standard deviations of the wallclock / WPR / failure
         count distributions plus the completion rate — exactly the
         quantities the verification subsystem holds against tolerances.
+        ``n_truncated`` counts tasks abandoned by the ``max_segments``
+        safety bound (``completed == False``); a non-zero value flags a
+        pathological scenario rather than a statistical outcome.
         """
         return {
             "n_tasks": float(self.n_tasks),
@@ -161,6 +177,7 @@ class SimulationResult:
             "std_failures": float(np.std(self.n_failures)),
             "total_failures": float(np.sum(self.n_failures)),
             "completion_rate": float(np.mean(self.completed)),
+            "n_truncated": float(np.sum(~self.completed)),
         }
 
     def digest(self) -> str:
@@ -225,23 +242,9 @@ def simulate_tasks(
     intervals), so the run time is a handful of vectorized passes even
     for 300k tasks.
     """
-    te_arr, x_arr, c_arr, r_arr, d_arr = np.broadcast_arrays(
-        np.asarray(te, dtype=float),
-        np.asarray(intervals, dtype=np.int64),
-        np.asarray(checkpoint_cost, dtype=float),
-        np.asarray(restart_cost, dtype=float),
-        np.asarray(dist_ids),
+    te_arr, x_arr, c_arr, r_arr, d_arr = _validate_batch(
+        te, intervals, checkpoint_cost, restart_cost, dist_ids, restart_delay
     )
-    te_arr = np.ascontiguousarray(te_arr, dtype=float)
-    x_arr = np.ascontiguousarray(x_arr, dtype=np.int64)
-    c_arr = np.ascontiguousarray(c_arr, dtype=float)
-    r_arr = np.ascontiguousarray(r_arr, dtype=float)
-    if np.any(te_arr <= 0):
-        raise ValueError("all te must be positive")
-    if np.any(x_arr < 1):
-        raise ValueError("all interval counts must be >= 1")
-    if np.any(c_arr < 0) or np.any(r_arr < 0) or restart_delay < 0:
-        raise ValueError("costs and delays must be non-negative")
     missing = set(np.unique(d_arr).tolist()) - set(distributions)
     if missing:
         raise KeyError(f"no distribution registered for ids {sorted(missing)}")
@@ -288,6 +291,224 @@ def simulate_tasks(
         n_failures=fails,
         intervals=x_arr.copy(),
         completed=completed,
+    )
+
+
+def _validate_batch(
+    te, intervals, checkpoint_cost, restart_cost, dist_ids, restart_delay
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Broadcast and validate the shared per-task parameter arrays."""
+    te_arr, x_arr, c_arr, r_arr, d_arr = np.broadcast_arrays(
+        np.asarray(te, dtype=float),
+        np.asarray(intervals, dtype=np.int64),
+        np.asarray(checkpoint_cost, dtype=float),
+        np.asarray(restart_cost, dtype=float),
+        np.asarray(dist_ids),
+    )
+    te_arr = np.ascontiguousarray(te_arr, dtype=float)
+    x_arr = np.ascontiguousarray(x_arr, dtype=np.int64)
+    c_arr = np.ascontiguousarray(c_arr, dtype=float)
+    r_arr = np.ascontiguousarray(r_arr, dtype=float)
+    if np.any(te_arr <= 0):
+        raise ValueError("all te must be positive")
+    if np.any(x_arr < 1):
+        raise ValueError("all interval counts must be >= 1")
+    if np.any(c_arr < 0) or np.any(r_arr < 0) or restart_delay < 0:
+        raise ValueError("costs and delays must be non-negative")
+    return te_arr, x_arr, c_arr, r_arr, d_arr
+
+
+def _simulate_blocked_core(
+    te_arr: np.ndarray,
+    x_arr: np.ndarray,
+    c_arr: np.ndarray,
+    r_arr: np.ndarray,
+    sample_state: np.ndarray,
+    draw_block,
+    restart_delay: float,
+    max_segments: int,
+    block_rounds: int,
+) -> SimulationResult:
+    """Shared compacted kernel of the blocked Monte-Carlo fast path.
+
+    ``draw_block(sample_state, k)`` returns a ``(k, m)`` matrix of
+    uptime draws — row ``r`` is segment round ``r`` for the ``m``
+    currently-live tasks described by ``sample_state`` (which is
+    compressed alongside the working arrays as tasks finish).
+
+    Two optimizations over the reference :func:`simulate_tasks` loop:
+
+    * failure samples are pre-drawn ``block_rounds`` rounds at a time,
+      so the per-round Python overhead of regrouping tasks by
+      distribution and issuing many small ``sample`` calls is paid once
+      per block instead of once per round;
+    * the working state is *compacted* — finished tasks are squeezed
+      out of every array — so later rounds run on dense arrays instead
+      of repeatedly fancy-indexing the full batch.
+
+    The truncation rule is identical to the scalar and reference vector
+    tiers: a task still alive after ``max_segments`` segment rounds
+    (i.e. after suffering ``max_segments`` failures) is reported with
+    ``completed = False`` and the wallclock accumulated so far.
+    """
+    if block_rounds < 1:
+        raise ValueError(f"block_rounds must be >= 1, got {block_rounds}")
+    n = te_arr.size
+    wall = np.zeros(n, dtype=float)
+    fails = np.zeros(n, dtype=np.int64)
+    completed = np.zeros(n, dtype=bool)
+
+    # Compacted working state: slot i describes original task idx[i].
+    idx = np.arange(n)
+    length_w = te_arr / x_arr
+    cycle_w = length_w + c_arr
+    rem_w = (x_arr - 1).astype(float)  # remaining checkpoints (x - 1 - m)
+    fcost_w = r_arr + restart_delay  # wall-clock charge per failure
+    wall_w = np.zeros(n, dtype=float)
+    fails_w = np.zeros(n, dtype=np.int64)
+
+    # Blocks ramp geometrically (1, 2, 4, ... block_rounds): the first
+    # rounds — where most tasks are still alive — draw exactly what
+    # they consume, while the long tail of survivors gets the full
+    # k-fold amortization of the per-block grouping overhead.  Total
+    # over-draw is bounded by one final block.
+    #
+    # Within a block, finished tasks are not squeezed out round by
+    # round; their slot is marked inert (``length = inf`` makes the
+    # finish test unreachable) and the junk its update ops accumulate
+    # is never read.  Compaction happens once per block boundary, so
+    # each round is a handful of full-width vector ops with no
+    # per-round gathers or compressions.
+    rounds = 0
+    k_next = 1
+    while idx.size and rounds < max_segments:
+        k = min(k_next, block_rounds, max_segments - rounds)
+        k_next = min(k_next * 2, block_rounds)
+        u_block = draw_block(sample_state, k)
+        alive = np.ones(idx.size, dtype=bool)
+        n_alive = idx.size
+        for r in range(k):
+            u = u_block[r]
+            t_fin = rem_w * cycle_w + length_w
+            done = u >= t_fin  # inert slots have t_fin == inf -> False
+            if done.any():
+                idx_done = idx[done]
+                wall[idx_done] = wall_w[done] + t_fin[done]
+                fails[idx_done] = fails_w[done]
+                completed[idx_done] = True
+                alive[done] = False
+                length_w[done] = np.inf
+                n_alive -= int(done.sum())
+                if n_alive == 0:
+                    break
+            rem_w -= np.minimum(np.floor(u / cycle_w), rem_w)
+            fails_w += 1
+            wall_w += u + fcost_w
+        rounds += k
+        if n_alive != idx.size:
+            idx = idx[alive]
+            length_w = length_w[alive]
+            cycle_w = cycle_w[alive]
+            rem_w = rem_w[alive]
+            fcost_w = fcost_w[alive]
+            wall_w = wall_w[alive]
+            fails_w = fails_w[alive]
+            sample_state = sample_state[alive]
+
+    if idx.size:  # truncated by the max_segments safety bound
+        wall[idx] = wall_w
+        fails[idx] = fails_w
+
+    return SimulationResult(
+        te=te_arr.copy(),
+        wallclock=wall,
+        n_failures=fails,
+        intervals=x_arr.copy(),
+        completed=completed,
+    )
+
+
+def simulate_tasks_blocked(
+    te: np.ndarray,
+    intervals: np.ndarray,
+    checkpoint_cost: np.ndarray,
+    restart_cost: np.ndarray,
+    dist_ids: np.ndarray,
+    distributions: dict[int, Distribution],
+    rng: np.random.Generator,
+    restart_delay: float = 0.0,
+    max_segments: int = 100_000,
+    block_rounds: int = DEFAULT_BLOCK_ROUNDS,
+) -> SimulationResult:
+    """Blocked fast path of :func:`simulate_tasks` (same model).
+
+    Semantically identical to the reference implementation — same
+    execution model, same truncation rule — but pre-draws failure
+    samples per distribution in blocks of ``block_rounds`` segment
+    rounds and compacts the working arrays as tasks finish, which
+    removes most of the per-round Python overhead on large batches.
+
+    Results are deterministic for a fixed ``(rng, inputs,
+    block_rounds)`` but consume the stream in a different order than
+    :func:`simulate_tasks`, so the two paths agree statistically, not
+    bit-for-bit.  The sharded parallel runner
+    (:mod:`repro.parallel`) builds on this path.
+    """
+    te_arr, x_arr, c_arr, r_arr, d_arr = _validate_batch(
+        te, intervals, checkpoint_cost, restart_cost, dist_ids, restart_delay
+    )
+    missing = set(np.unique(d_arr).tolist()) - set(distributions)
+    if missing:
+        raise KeyError(f"no distribution registered for ids {sorted(missing)}")
+    dist_order = sorted(distributions, key=repr)
+
+    def draw_block(ids_live: np.ndarray, k: int) -> np.ndarray:
+        out = np.empty((k, ids_live.size), dtype=float)
+        for did in dist_order:
+            sel = np.flatnonzero(ids_live == did)
+            if sel.size:
+                out[:, sel] = distributions[did].sample(rng, (k, sel.size))
+        return out
+
+    return _simulate_blocked_core(
+        te_arr, x_arr, c_arr, r_arr, np.ascontiguousarray(d_arr),
+        draw_block, restart_delay, max_segments, block_rounds,
+    )
+
+
+def simulate_tasks_scaled(
+    te: np.ndarray,
+    intervals: np.ndarray,
+    checkpoint_cost: np.ndarray,
+    restart_cost: np.ndarray,
+    interval_scale: np.ndarray,
+    rng: np.random.Generator,
+    restart_delay: float = 0.0,
+    max_segments: int = 100_000,
+    block_rounds: int = DEFAULT_BLOCK_ROUNDS,
+) -> SimulationResult:
+    """Blocked Monte-Carlo with per-task exponential interval scales.
+
+    The frailty model's redraw path: task ``i`` draws its uptimes from
+    ``Exponential(mean = interval_scale[i])``.  Same execution model,
+    truncation rule and blocked kernel as
+    :func:`simulate_tasks_blocked`, with the per-distribution grouping
+    replaced by one broadcast exponential draw.
+    """
+    te_arr, x_arr, c_arr, r_arr, s_arr = _validate_batch(
+        te, intervals, checkpoint_cost, restart_cost,
+        np.asarray(interval_scale, dtype=float), restart_delay,
+    )
+    s_arr = np.ascontiguousarray(s_arr, dtype=float)
+    if np.any(s_arr <= 0):
+        raise ValueError("all interval scales must be positive")
+
+    def draw_block(scales_live: np.ndarray, k: int) -> np.ndarray:
+        return rng.exponential(scales_live, size=(k, scales_live.size))
+
+    return _simulate_blocked_core(
+        te_arr, x_arr, c_arr, r_arr, s_arr,
+        draw_block, restart_delay, max_segments, block_rounds,
     )
 
 

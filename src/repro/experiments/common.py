@@ -29,8 +29,18 @@ import numpy as np
 
 from repro.core.placement import select_storage_batch
 from repro.core.policies import CheckpointPolicy
-from repro.core.simulate import SimulationResult, simulate_tasks, simulate_tasks_replay
+from repro.core.simulate import SimulationResult
 from repro.metrics.wpr import wpr_from_arrays
+from repro.parallel.runner import (
+    simulate_tasks_replay_sharded,
+    simulate_tasks_scaled_sharded,
+    simulate_tasks_sharded,
+)
+from repro.storage.costmodel import (
+    checkpoint_cost_local,
+    checkpoint_cost_nfs,
+    restart_cost,
+)
 from repro.trace.models import JobType, Trace
 from repro.trace.sampler import failed_job_sample
 from repro.trace.stats import build_estimator
@@ -42,6 +52,7 @@ __all__ = [
     "default_trace",
     "evaluate_policy",
     "flatten_trace",
+    "storage_costs",
 ]
 
 #: Default job count for the headline experiments (the paper uses 300k
@@ -52,6 +63,17 @@ DEFAULT_N_JOBS = 4000
 
 
 @lru_cache(maxsize=8)
+def _default_trace_cached(
+    n_jobs: int, seed: int, only_failed_jobs: bool
+) -> Trace:
+    trace = synthesize_trace(TraceConfig(n_jobs=n_jobs), seed=seed)
+    if only_failed_jobs:
+        sampled = failed_job_sample(trace, 0.5)
+        if len(sampled) > 0:
+            return sampled
+    return trace
+
+
 def default_trace(
     n_jobs: int = DEFAULT_N_JOBS,
     seed: int = 2013,
@@ -61,13 +83,15 @@ def default_trace(
 
     ``only_failed_jobs`` applies the paper's §5.1 sample rule: keep
     jobs at least half of whose tasks suffered a failure.
+
+    Each call returns a *fresh* :class:`~repro.trace.models.Trace`
+    wrapper over the cached (frozen) job tuple, so no caller can poison
+    the process-wide cache: the jobs and tasks themselves are frozen
+    dataclasses, and even forcibly rebinding attributes on the returned
+    wrapper (``object.__setattr__``) only touches the caller's private
+    copy.
     """
-    trace = synthesize_trace(TraceConfig(n_jobs=n_jobs), seed=seed)
-    if only_failed_jobs:
-        sampled = failed_job_sample(trace, 0.5)
-        if len(sampled) > 0:
-            return sampled
-    return trace
+    return Trace(jobs=_default_trace_cached(n_jobs, seed, only_failed_jobs).jobs)
 
 
 @dataclass
@@ -185,50 +209,35 @@ def _estimates(
     raise ValueError(f"estimation must be 'oracle' or 'priority', got {estimation!r}")
 
 
-def _simulate_redraw_scaled(
-    flat: FlatTasks,
-    counts: np.ndarray,
-    ckpt_cost: np.ndarray,
-    rst_cost: np.ndarray,
-    rng: np.random.Generator,
-    restart_delay: float,
-    max_segments: int = 100_000,
-) -> SimulationResult:
-    """Vectorized Monte-Carlo with per-task exponential interval scales
-    (the frailty model's redraw path; same execution model as
-    :func:`repro.core.simulate.simulate_tasks`)."""
-    n = flat.n_tasks
-    length = flat.te / counts
-    cycle = length + ckpt_cost
-    m = np.zeros(n, dtype=np.int64)
-    wall = np.zeros(n, dtype=float)
-    fails = np.zeros(n, dtype=np.int64)
-    completed = np.zeros(n, dtype=bool)
-    active = np.arange(n)
-    for _ in range(max_segments):
-        if active.size == 0:
-            break
-        u = rng.exponential(flat.interval_scale[active])
-        rem = counts[active] - 1 - m[active]
-        t_fin = rem * cycle[active] + length[active]
-        done = u >= t_fin
-        idx_done = active[done]
-        wall[idx_done] += t_fin[done]
-        completed[idx_done] = True
-        idx_cont = active[~done]
-        if idx_cont.size:
-            u_cont = u[~done]
-            j = np.minimum((u_cont // cycle[idx_cont]).astype(np.int64), rem[~done])
-            m[idx_cont] += j
-            fails[idx_cont] += 1
-            wall[idx_cont] += u_cont + rst_cost[idx_cont] + restart_delay
-        active = idx_cont
-    return SimulationResult(
-        te=flat.te.copy(),
-        wallclock=wall,
-        n_failures=fails,
-        intervals=counts.copy(),
-        completed=completed,
+def storage_costs(
+    storage: str,
+    te: np.ndarray,
+    mnof: np.ndarray,
+    mem_mb: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-task ``(checkpoint_cost, restart_cost)`` under a storage mode.
+
+    ``"auto"`` applies the §4.2.2 comparison per task (the paper's
+    Algorithm 1 line 1); ``"local"`` forces ramdisk checkpoints with
+    type-A restarts, ``"shared"`` forces NFS checkpoints with type-B
+    restarts — the fixed-backend axes of the sweep grids.
+    """
+    if storage == "auto":
+        _local_wins, ckpt, rst = select_storage_batch(te, mnof, mem_mb)
+        return ckpt, rst
+    mem = np.asarray(mem_mb, dtype=float)
+    if storage == "local":
+        return (
+            np.asarray(checkpoint_cost_local(mem), dtype=float),
+            np.asarray(restart_cost(mem, "A"), dtype=float),
+        )
+    if storage == "shared":
+        return (
+            np.asarray(checkpoint_cost_nfs(mem), dtype=float),
+            np.asarray(restart_cost(mem, "B"), dtype=float),
+        )
+    raise ValueError(
+        f"storage must be 'auto', 'local' or 'shared', got {storage!r}"
     )
 
 
@@ -241,6 +250,8 @@ def evaluate_policy(
     catalog=None,
     seed: int = 99,
     restart_delay: float = 0.0,
+    storage: str = "auto",
+    workers: int = 1,
 ) -> PolicyRun:
     """Run one policy over every task of ``trace`` (see module docstring).
 
@@ -249,28 +260,32 @@ def evaluate_policy(
     ``"redraw"`` (fresh intervals from ``catalog``; needs ``catalog``).
     ``length_cap`` restricts the priority-group estimation to tasks at
     most that long (the paper's RL-capped estimation for Figs. 11–13).
+    ``storage`` picks the checkpoint backend per :func:`storage_costs`.
+
+    ``workers`` fans the Monte-Carlo batch out over a process pool via
+    :mod:`repro.parallel` — results are bit-for-bit identical for every
+    worker count (replay mode additionally matches the historical
+    single-chunk execution exactly).
     """
     flat = flatten_trace(trace)
     mnof, mtbf = _estimates(flat, trace, estimation, length_cap)
-    local_wins, ckpt_cost, rst_cost = select_storage_batch(
-        flat.te, mnof, flat.mem_mb
-    )
+    ckpt_cost, rst_cost = storage_costs(storage, flat.te, mnof, flat.mem_mb)
     counts = np.asarray(
         policy.interval_counts(flat.te, ckpt_cost, rst_cost, mnof, mtbf),
         dtype=np.int64,
     )
     if failure_mode == "replay":
-        sim = simulate_tasks_replay(
+        sim = simulate_tasks_replay_sharded(
             flat.te, counts, ckpt_cost, rst_cost, flat.hist_intervals,
-            restart_delay=restart_delay,
+            restart_delay=restart_delay, workers=workers,
         )
     elif failure_mode == "redraw":
         if np.all(flat.interval_scale > 0):
             # Frailty ground truth available: fresh exponential intervals
-            # with each task's private scale (vectorized per segment).
-            sim = _simulate_redraw_scaled(
-                flat, counts, ckpt_cost, rst_cost,
-                np.random.default_rng(seed), restart_delay,
+            # with each task's private scale (blocked + sharded).
+            sim = simulate_tasks_scaled_sharded(
+                flat.te, counts, ckpt_cost, rst_cost, flat.interval_scale,
+                seed=seed, restart_delay=restart_delay, workers=workers,
             )
         else:
             if catalog is None:
@@ -280,9 +295,9 @@ def evaluate_policy(
                 )
             dists = {p: catalog.interval_distribution(int(p))
                      for p in np.unique(flat.priority)}
-            sim = simulate_tasks(
+            sim = simulate_tasks_sharded(
                 flat.te, counts, ckpt_cost, rst_cost, flat.priority, dists,
-                np.random.default_rng(seed), restart_delay=restart_delay,
+                seed=seed, restart_delay=restart_delay, workers=workers,
             )
     else:
         raise ValueError(

@@ -8,7 +8,7 @@
   pairwise wall-clock comparisons (Figs. 12–14).
 """
 
-from repro.metrics.wpr import job_wpr, task_wpr, wpr_from_arrays
+from repro.metrics.wpr import job_wpr, task_wpr, wpr_array, wpr_from_arrays, wpr_ratio
 from repro.metrics.cdf import cdf_at, ecdf, fraction_above, fraction_below, quantile
 from repro.metrics.summary import (
     MinAvgMax,
@@ -29,5 +29,7 @@ __all__ = [
     "job_wpr",
     "quantile",
     "task_wpr",
+    "wpr_array",
     "wpr_from_arrays",
+    "wpr_ratio",
 ]

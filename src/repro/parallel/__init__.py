@@ -1,0 +1,36 @@
+"""Deterministic parallel execution: sharded batches and grid sweeps.
+
+* :mod:`repro.parallel.runner` — splits a Monte-Carlo task batch into
+  fixed-size chunks, spawns one independent RNG stream per chunk via
+  ``np.random.SeedSequence.spawn``, executes the chunks serially or on
+  a ``multiprocessing`` pool, and merges the per-chunk results back in
+  input order.  Digests are bit-for-bit identical for any worker
+  count.
+* :mod:`repro.parallel.sweep` — the ``repro sweep`` experiment-grid
+  runner (policy × storage × trace size × seed), parallelized over
+  grid points with the same determinism guarantee.  Imported lazily by
+  the CLI; import it explicitly (``import repro.parallel.sweep``) when
+  using it as a library.
+"""
+
+from repro.parallel.runner import (
+    DEFAULT_CHUNK_SIZE,
+    default_workers,
+    merge_results,
+    plan_chunks,
+    simulate_tasks_replay_sharded,
+    simulate_tasks_scaled_sharded,
+    simulate_tasks_sharded,
+    spawn_chunk_seeds,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "default_workers",
+    "merge_results",
+    "plan_chunks",
+    "simulate_tasks_replay_sharded",
+    "simulate_tasks_scaled_sharded",
+    "simulate_tasks_sharded",
+    "spawn_chunk_seeds",
+]

@@ -4,8 +4,10 @@ Tier A (**scalar**) is the reference: :func:`repro.core.simulate.
 simulate_task` per task, each with a failure injector seeded
 ``(seed, task_id)`` — the same construction the DES platform uses, so
 the two tiers consume identical uptime draw sequences.  Tier B
-(**vector**) is :func:`repro.core.simulate.simulate_tasks` on one
-batched stream.  Tier C (**des**) is the full
+(**vector**) is the sharded Monte-Carlo runner
+(:func:`repro.parallel.simulate_tasks_sharded`, blocked fast path,
+per-chunk ``SeedSequence``-spawned streams — worker-count invariant).
+Tier C (**des**) is the full
 :class:`~repro.cluster.platform.CloudPlatform` run over the scenario's
 trace and cluster config.
 
@@ -29,8 +31,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cluster.platform import CloudPlatform
-from repro.core.simulate import SimulationResult, simulate_task, simulate_tasks
+from repro.core.simulate import SimulationResult, simulate_task
 from repro.failures.injector import FailureInjector
+from repro.parallel.runner import simulate_tasks_sharded
 from repro.verify.compare import (
     Check,
     check_allclose,
@@ -160,17 +163,22 @@ def run_scalar(workload: Workload) -> TierResult:
     )
 
 
-def run_vector(workload: Workload) -> TierResult:
-    """Tier B: the vectorized Monte-Carlo batch on one fresh stream."""
-    rng = np.random.default_rng((workload.seed, 0x7EC7))
-    result = simulate_tasks(
+def run_vector(workload: Workload, workers: int = 1) -> TierResult:
+    """Tier B: the vectorized Monte-Carlo batch via the sharded runner.
+
+    Executes through :func:`repro.parallel.simulate_tasks_sharded`
+    (blocked fast path, per-chunk spawned streams), so the tier's
+    results are bit-for-bit identical for every ``workers`` value.
+    """
+    result = simulate_tasks_sharded(
         te=workload.te,
         intervals=workload.intervals,
         checkpoint_cost=workload.checkpoint_cost,
         restart_cost=workload.restart_cost,
         dist_ids=workload.dist_ids,
         distributions=workload.distributions,
-        rng=rng,
+        seed=(workload.seed, 0x7EC7),
+        workers=workers,
     )
     return TierResult(
         tier="vector",
@@ -299,12 +307,18 @@ def _cross_tier_checks(
     return checks
 
 
-def run_scenario(spec: Scenario, base_seed: int = 0) -> ScenarioResult:
-    """Run one scenario through all three tiers and cross-check them."""
+def run_scenario(
+    spec: Scenario, base_seed: int = 0, workers: int = 1
+) -> ScenarioResult:
+    """Run one scenario through all three tiers and cross-check them.
+
+    ``workers`` parallelizes the vectorized tier's batch; every worker
+    count produces identical results (see :mod:`repro.parallel`).
+    """
     t0 = time.perf_counter()
     workload = build_workload(spec, base_seed)
     scalar = run_scalar(workload)
-    vector = run_vector(workload)
+    vector = run_vector(workload, workers=workers)
     des = run_des(workload)
     checks = _cross_tier_checks(spec, scalar, vector, des)
     return ScenarioResult(

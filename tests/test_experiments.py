@@ -6,6 +6,7 @@ the suite stays fast; the benchmark harness runs the full-size versions.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
@@ -173,3 +174,81 @@ class TestDynamicExperiment:
         assert rep.data["dynamic_worst_wpr"] > rep.data["static_worst_wpr"]
         # Most jobs are unaffected by the priority change (paper: 67%).
         assert rep.data["frac_similar"] > 0.4
+
+
+class TestDefaultTraceCachePoisoning:
+    """default_trace is memoized but must hand out defensive wrappers:
+    no caller may poison the process-wide cache."""
+
+    def test_fresh_wrapper_each_call(self):
+        from repro.experiments.common import default_trace
+
+        a = default_trace(80, seed=5)
+        b = default_trace(80, seed=5)
+        assert a is not b  # distinct wrappers ...
+        assert a.jobs == b.jobs  # ... over equal (cached) content
+
+    def test_forcible_mutation_does_not_poison_cache(self):
+        from repro.experiments.common import default_trace
+
+        a = default_trace(80, seed=5)
+        original_jobs = a.jobs
+        # Jobs/tasks are frozen dataclasses; plain assignment raises.
+        with pytest.raises(Exception):
+            a.jobs = ()
+        # Even a caller that forces the rebind past the frozen guard
+        # only damages its private wrapper, not the cache.
+        object.__setattr__(a, "jobs", ())
+        assert len(a.jobs) == 0
+        b = default_trace(80, seed=5)
+        assert b.jobs == original_jobs
+        assert len(b) > 0
+
+    def test_second_call_result_unchanged_after_mutation(self):
+        from repro.experiments.common import default_trace, evaluate_policy
+        from repro.core.policies import OptimalCountPolicy
+
+        first = evaluate_policy(default_trace(80, seed=5),
+                                OptimalCountPolicy()).mean_wpr()
+        poisoned = default_trace(80, seed=5)
+        object.__setattr__(poisoned, "jobs", poisoned.jobs[:1])
+        second = evaluate_policy(default_trace(80, seed=5),
+                                 OptimalCountPolicy()).mean_wpr()
+        assert first == second
+
+
+class TestEvaluatePolicyParallelAndStorage:
+    def test_workers_do_not_change_replay_results(self):
+        from repro.core.policies import OptimalCountPolicy
+        from repro.experiments.common import default_trace, evaluate_policy
+
+        trace = default_trace(120, seed=9)
+        serial = evaluate_policy(trace, OptimalCountPolicy(), workers=1)
+        pooled = evaluate_policy(trace, OptimalCountPolicy(), workers=2)
+        assert serial.sim.digest() == pooled.sim.digest()
+        np.testing.assert_array_equal(serial.job_wpr, pooled.job_wpr)
+
+    def test_workers_do_not_change_redraw_results(self):
+        from repro.core.policies import YoungPolicy
+        from repro.experiments.common import default_trace, evaluate_policy
+
+        trace = default_trace(120, seed=9)
+        serial = evaluate_policy(trace, YoungPolicy(),
+                                 failure_mode="redraw", seed=3, workers=1)
+        pooled = evaluate_policy(trace, YoungPolicy(),
+                                 failure_mode="redraw", seed=3, workers=2)
+        assert serial.sim.digest() == pooled.sim.digest()
+
+    def test_storage_modes_price_checkpoints_differently(self):
+        from repro.core.policies import OptimalCountPolicy
+        from repro.experiments.common import default_trace, evaluate_policy
+
+        trace = default_trace(120, seed=9)
+        runs = {s: evaluate_policy(trace, OptimalCountPolicy(), storage=s)
+                for s in ("auto", "local", "shared")}
+        digests = {s: r.sim.digest() for s, r in runs.items()}
+        assert digests["local"] != digests["shared"]
+        for r in runs.values():
+            assert 0 < r.mean_wpr() <= 1.0
+        with pytest.raises(ValueError):
+            evaluate_policy(trace, OptimalCountPolicy(), storage="floppy")

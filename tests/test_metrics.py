@@ -128,3 +128,30 @@ class TestCompareWallclock:
             compare_wallclock([], [])
         with pytest.raises(ValueError):
             compare_wallclock([0.0], [1.0])
+
+
+class TestCanonicalWprHelpers:
+    """Pins for the canonical clamped WPR (the single definition every
+    layer delegates to)."""
+
+    def test_wpr_ratio_semantics(self):
+        from repro.metrics.wpr import wpr_ratio
+
+        assert wpr_ratio(90.0, 100.0) == pytest.approx(0.9)
+        assert wpr_ratio(100.0, 100.0) == 1.0
+        assert wpr_ratio(100.0 + 1e-9, 100.0) == 1.0  # clamped, not raised
+        assert wpr_ratio(50.0, 0.0) == 0.0  # degenerate wallclock
+        assert wpr_ratio(50.0, -1.0) == 0.0
+
+    def test_wpr_array_semantics(self):
+        from repro.metrics.wpr import wpr_array
+
+        out = wpr_array(np.array([90.0, 100.0, 50.0, 10.0]),
+                        np.array([100.0, 100.0, 0.0, 5.0]))
+        np.testing.assert_allclose(out, [0.9, 1.0, 0.0, 1.0])
+
+    def test_task_wpr_delegates_to_canonical(self):
+        from repro.metrics.wpr import task_wpr, wpr_ratio
+
+        for work, wall in [(90.0, 100.0), (1.0, 1.0), (0.0, 5.0)]:
+            assert task_wpr(work, wall) == wpr_ratio(work, wall)

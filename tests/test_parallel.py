@@ -1,0 +1,263 @@
+"""Tests for the deterministic parallel subsystem (:mod:`repro.parallel`).
+
+The load-bearing property: worker count is invisible in the results.
+Every sharded entry point must produce bit-for-bit identical
+``SimulationResult.digest()`` values for ``workers in {1, 2, 4}``, and
+replay-mode sharding must additionally match the unsharded reference
+exactly for any chunk size.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.simulate import simulate_tasks_replay
+from repro.parallel import (
+    DEFAULT_CHUNK_SIZE,
+    merge_results,
+    plan_chunks,
+    simulate_tasks_replay_sharded,
+    simulate_tasks_scaled_sharded,
+    simulate_tasks_sharded,
+    spawn_chunk_seeds,
+)
+from repro.parallel.sweep import SweepPoint, build_grid, run_point, run_sweep
+from repro.failures.distributions import Exponential, Pareto
+from repro.verify.golden import compare_with_golden, load_golden
+from repro.verify.runner import run_scenario, run_vector
+from repro.verify.scenarios import build_workload, get_scenario
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def batch():
+    rng = np.random.default_rng(7)
+    n = 3000
+    te = rng.uniform(50, 1500, n)
+    x = np.maximum(1, (np.sqrt(te) / 3).astype(np.int64))
+    c = rng.uniform(0.1, 2.0, n)
+    r = rng.uniform(0.5, 3.0, n)
+    return te, x, c, r
+
+
+class TestChunkPlanning:
+    def test_covers_all_tasks_in_order(self):
+        slices = plan_chunks(10_000, 1024)
+        assert slices[0] == slice(0, 1024)
+        assert slices[-1] == slice(9216, 10_000)
+        covered = [i for sl in slices for i in range(sl.start, sl.stop)]
+        assert covered == list(range(10_000))
+
+    def test_plan_is_worker_independent(self):
+        # The plan is a pure function of (n, chunk_size) by construction;
+        # pin the shape so a refactor can't quietly thread workers in.
+        assert plan_chunks(100, 30) == [
+            slice(0, 30), slice(30, 60), slice(60, 90), slice(90, 100)
+        ]
+
+    def test_empty_batch(self):
+        assert plan_chunks(0, 64) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_chunks(-1, 64)
+        with pytest.raises(ValueError):
+            plan_chunks(10, 0)
+
+    def test_spawned_seeds_are_distinct_and_stable(self):
+        a = spawn_chunk_seeds(42, 4)
+        b = spawn_chunk_seeds(42, 4)
+        assert len(a) == 4
+        states = [tuple(s.generate_state(4)) for s in a]
+        assert len(set(states)) == 4  # independent streams
+        assert states == [tuple(s.generate_state(4)) for s in b]  # stable
+
+
+class TestShardedDeterminism:
+    def test_redraw_digest_invariant_over_workers(self, batch):
+        te, x, c, r = batch
+        dists = {0: Exponential(1 / 300.0), 1: Pareto(100.0, 1.3)}
+        ids = np.arange(te.size) % 2
+        digests = {
+            w: simulate_tasks_sharded(
+                te, x, c, r, ids, dists, seed=42, workers=w, chunk_size=512
+            ).digest()
+            for w in WORKER_COUNTS
+        }
+        assert len(set(digests.values())) == 1, digests
+
+    def test_scaled_digest_invariant_over_workers(self, batch):
+        te, x, c, r = batch
+        scales = np.random.default_rng(1).uniform(100, 1000, te.size)
+        digests = {
+            w: simulate_tasks_scaled_sharded(
+                te, x, c, r, scales, seed=7, workers=w, chunk_size=512
+            ).digest()
+            for w in WORKER_COUNTS
+        }
+        assert len(set(digests.values())) == 1, digests
+
+    def test_chunk_size_changes_draw_order(self, batch):
+        """Documented contract: chunk_size is part of the determinism
+        key (like the seed), unlike the worker count."""
+        te, x, c, r = batch
+        dists = {0: Exponential(1 / 300.0)}
+        ids = np.zeros(te.size, dtype=np.int64)
+        d1 = simulate_tasks_sharded(
+            te, x, c, r, ids, dists, seed=42, chunk_size=512
+        ).digest()
+        d2 = simulate_tasks_sharded(
+            te, x, c, r, ids, dists, seed=42, chunk_size=1024
+        ).digest()
+        assert d1 != d2
+
+    def test_replay_sharded_matches_unsharded_bitwise(self, batch):
+        """Replay consumes no RNG: sharding must be invisible entirely."""
+        te, x, c, r = batch
+        rng = np.random.default_rng(3)
+        mat = np.full((te.size, 3), np.inf)
+        k = rng.integers(0, 4, te.size)
+        for col in range(3):
+            rows = k > col
+            mat[rows, col] = rng.uniform(10, 800, int(rows.sum()))
+        ref = simulate_tasks_replay(te, x, c, r, mat)
+        for w in WORKER_COUNTS:
+            for cs in (256, 999, DEFAULT_CHUNK_SIZE):
+                sharded = simulate_tasks_replay_sharded(
+                    te, x, c, r, mat, workers=w, chunk_size=cs
+                )
+                assert sharded.digest() == ref.digest()
+
+    def test_merge_preserves_input_order(self, batch):
+        te, x, c, r = batch
+        dists = {0: Exponential(1 / 300.0)}
+        ids = np.zeros(te.size, dtype=np.int64)
+        res = simulate_tasks_sharded(
+            te, x, c, r, ids, dists, seed=5, chunk_size=700
+        )
+        np.testing.assert_array_equal(res.te, te)
+        np.testing.assert_array_equal(res.intervals, x)
+        assert res.n_tasks == te.size
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_results([])
+
+
+class TestGoldenScenarioOutcomes:
+    """Worker-count invariance on the pinned verification scenarios."""
+
+    QUICK = "exp-baseline-local"
+
+    def test_run_vector_worker_invariant(self):
+        workload = build_workload(get_scenario(self.QUICK), base_seed=0)
+        digests = {
+            w: run_vector(workload, workers=w).digest for w in WORKER_COUNTS
+        }
+        assert len(set(digests.values())) == 1, digests
+
+    def test_parallel_scenario_still_passes_golden(self):
+        """A multi-worker run of a golden-pinned scenario reproduces the
+        golden outcomes: scalar digest bit-level, vector under the
+        pinned tolerances."""
+        spec = get_scenario(self.QUICK)
+        result = run_scenario(spec, base_seed=0, workers=2)
+        golden = load_golden(spec.name)
+        assert golden is not None, "golden file missing for quick scenario"
+        checks = result.checks + compare_with_golden(result, golden)
+        failed = [c for c in checks if not c.passed]
+        assert not failed, [c.name for c in failed]
+
+
+class TestSweep:
+    GRID = dict(
+        policies=["optimal", "young"],
+        storages=["auto", "local"],
+        n_jobs_list=[60],
+        seeds=[0],
+    )
+
+    def test_grid_cross_product_order(self):
+        points = build_grid(**self.GRID)
+        assert len(points) == 4
+        assert [(p.policy, p.storage) for p in points] == [
+            ("optimal", "auto"), ("optimal", "local"),
+            ("young", "auto"), ("young", "local"),
+        ]
+
+    def test_sweep_digests_invariant_over_workers(self):
+        points = build_grid(**self.GRID)
+        reports = {w: run_sweep(points, workers=w) for w in (1, 2)}
+        d1 = [p["digest"] for p in reports[1]["points"]]
+        d2 = [p["digest"] for p in reports[2]["points"]]
+        assert d1 == d2
+        assert reports[1]["n_points"] == 4
+
+    def test_point_is_reproducible(self):
+        point = SweepPoint(policy="optimal", storage="auto", n_jobs=60,
+                           trace_seed=3)
+        a, b = run_point(point), run_point(point)
+        assert a["digest"] == b["digest"]
+        assert a["summary"] == b["summary"]
+
+    def test_redraw_mode_runs(self):
+        point = SweepPoint(policy="young", storage="shared", n_jobs=60,
+                           trace_seed=1, failure_mode="redraw")
+        cell = run_point(point)
+        assert cell["n_tasks"] > 0
+        assert 0 < cell["mean_job_wpr"] <= 1.0
+
+    def test_point_validation(self):
+        with pytest.raises(ValueError):
+            SweepPoint(policy="nope", storage="auto", n_jobs=10)
+        with pytest.raises(ValueError):
+            SweepPoint(policy="optimal", storage="floppy", n_jobs=10)
+        with pytest.raises(ValueError):
+            SweepPoint(policy="optimal", storage="auto", n_jobs=0)
+        with pytest.raises(ValueError):
+            run_sweep([], workers=1)
+
+    def test_parametrized_policies_validated_at_grid_build(self):
+        """fixed-interval/fixed-count without a positive param must fail
+        when the grid is built, not mid-sweep inside a pool worker."""
+        with pytest.raises(ValueError, match="policy-param"):
+            SweepPoint(policy="fixed-interval", storage="auto", n_jobs=10)
+        with pytest.raises(ValueError, match="policy-param"):
+            SweepPoint(policy="fixed-count", storage="auto", n_jobs=10,
+                       policy_param=0.0)
+        point = SweepPoint(policy="fixed-count", storage="auto", n_jobs=40,
+                           policy_param=3.0)
+        assert run_point(point)["n_tasks"] > 0
+
+    def test_cli_friendly_errors(self, tmp_path, capsys):
+        # Empty grid axis -> usage error, no traceback.
+        assert cli_main(["sweep", "--policies", "", "--n-jobs", "50"]) == 2
+        assert "empty sweep grid" in capsys.readouterr().err
+        # Parametrized policy without --policy-param -> usage error.
+        assert cli_main(["sweep", "--policies", "fixed-interval",
+                         "--n-jobs", "50"]) == 2
+        assert "policy-param" in capsys.readouterr().err
+        # With the flag, the sweep runs.
+        out = tmp_path / "fi.json"
+        assert cli_main(["sweep", "--policies", "fixed-interval",
+                         "--policy-param", "120", "--n-jobs", "40",
+                         "--quiet", "--out", str(out)]) == 0
+        assert json.loads(out.read_text())["n_points"] == 1
+
+    def test_cli_writes_report_and_reproduces_digests(self, tmp_path, capsys):
+        out1 = tmp_path / "s1.json"
+        out2 = tmp_path / "s2.json"
+        base = ["sweep", "--policies", "optimal", "--storage", "auto",
+                "--n-jobs", "60", "--seeds", "0", "--quiet"]
+        assert cli_main(base + ["--workers", "1", "--out", str(out1)]) == 0
+        assert cli_main(base + ["--workers", "2", "--out", str(out2)]) == 0
+        r1 = json.loads(out1.read_text())
+        r2 = json.loads(out2.read_text())
+        assert [p["digest"] for p in r1["points"]] == \
+               [p["digest"] for p in r2["points"]]
+        assert r1["points"][0]["summary"]["n_tasks"] > 0

@@ -16,10 +16,22 @@ from repro.core.simulate import (
     simulate_task,
     simulate_task_two_phase,
     simulate_tasks,
+    simulate_tasks_blocked,
     simulate_tasks_replay,
+    simulate_tasks_scaled,
 )
-from repro.failures.distributions import Exponential
+from repro.failures.distributions import Empirical, Exponential, Pareto
 from repro.failures.injector import FailureInjector, TraceReplayInjector
+
+
+class _ConstantInjector:
+    """Scalar-tier injector failing after a fixed uptime, forever."""
+
+    def __init__(self, uptime: float):
+        self.uptime = uptime
+
+    def next_failure_in(self) -> float:
+        return self.uptime
 
 
 class TestScalarNoFailures:
@@ -245,3 +257,191 @@ class TestTwoPhase:
                                     switch_fraction=1.5)
         with pytest.raises(ValueError):
             simulate_task_two_phase(1.0, 0.0, 1.0, d, d, 1.0, 1.0, rng)
+
+
+class TestBlockedFastPath:
+    """The blocked kernel implements the same model as the reference."""
+
+    def _batch(self, n=20_000, seed=0):
+        rng = np.random.default_rng(seed)
+        te = rng.uniform(100, 2000, n)
+        x = np.maximum(1, (np.sqrt(te) / 3).astype(np.int64))
+        c = rng.uniform(0.1, 2.0, n)
+        r = rng.uniform(0.5, 3.0, n)
+        return te, x, c, r
+
+    def test_statistical_agreement_with_reference(self):
+        te, x, c, r = self._batch()
+        dists = {0: Exponential(1 / 300.0), 1: Pareto(100.0, 1.3)}
+        ids = np.arange(te.size) % 2
+        a = simulate_tasks(te, x, c, r, ids, dists, np.random.default_rng(1))
+        b = simulate_tasks_blocked(
+            te, x, c, r, ids, dists, np.random.default_rng(1)
+        )
+        sa, sb = a.summary(), b.summary()
+        assert sb["mean_wallclock"] == pytest.approx(
+            sa["mean_wallclock"], rel=0.02)
+        assert sb["mean_failures"] == pytest.approx(
+            sa["mean_failures"], rel=0.02, abs=0.05)
+        assert sb["completion_rate"] == pytest.approx(
+            sa["completion_rate"], abs=0.01)
+
+    def test_deterministic_for_fixed_seed(self):
+        te, x, c, r = self._batch(n=2000)
+        dists = {0: Exponential(1 / 250.0)}
+        ids = np.zeros(te.size, dtype=np.int64)
+        d1 = simulate_tasks_blocked(
+            te, x, c, r, ids, dists, np.random.default_rng(9)).digest()
+        d2 = simulate_tasks_blocked(
+            te, x, c, r, ids, dists, np.random.default_rng(9)).digest()
+        assert d1 == d2
+
+    def test_single_round_blocks_match_reference_stream(self):
+        """With block_rounds=1 the draw pattern is identical to the
+        reference implementation, so results agree bit-for-bit."""
+        te, x, c, r = self._batch(n=500)
+        dists = {0: Exponential(1 / 300.0)}
+        ids = np.zeros(te.size, dtype=np.int64)
+        ref = simulate_tasks(te, x, c, r, ids, dists,
+                             np.random.default_rng(4))
+        blk = simulate_tasks_blocked(te, x, c, r, ids, dists,
+                                     np.random.default_rng(4),
+                                     block_rounds=1)
+        assert blk.digest() == ref.digest()
+
+    def test_scaled_matches_per_task_exponential(self):
+        """simulate_tasks_scaled is the frailty redraw: per-task
+        exponential means.  Cross-check against the blocked catalog
+        path with per-task Exponential distributions."""
+        te, x, c, r = self._batch(n=5000, seed=3)
+        scales = np.random.default_rng(8).uniform(100, 900, te.size)
+        res = simulate_tasks_scaled(te, x, c, r, scales,
+                                    np.random.default_rng(5))
+        dists = {i: Exponential(1.0 / scales[i]) for i in range(te.size)}
+        ref = simulate_tasks_blocked(te, x, c, r, np.arange(te.size),
+                                     dists, np.random.default_rng(6))
+        assert res.summary()["mean_wallclock"] == pytest.approx(
+            ref.summary()["mean_wallclock"], rel=0.03)
+        assert res.summary()["mean_failures"] == pytest.approx(
+            ref.summary()["mean_failures"], rel=0.03, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_tasks_blocked(
+                np.array([1.0]), np.array([1]), 1.0, 1.0, np.array([0]),
+                {0: Exponential(1.0)}, np.random.default_rng(0),
+                block_rounds=0)
+        with pytest.raises(KeyError):
+            simulate_tasks_blocked(
+                np.array([1.0]), np.array([1]), 1.0, 1.0, np.array([9]),
+                {0: Exponential(1.0)}, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            simulate_tasks_scaled(
+                np.array([1.0]), np.array([1]), 1.0, 1.0, np.array([0.0]),
+                np.random.default_rng(0))
+
+
+class TestTruncationRule:
+    """max_segments truncation must be identical across tiers: after
+    ``max_segments`` failures a task reports ``completed=False``, its
+    accumulated wallclock, and (scalar tier) the checkpoints actually
+    committed."""
+
+    MAX_SEG = 50
+
+    def test_scalar_vs_vector_never_completing(self):
+        """Pathological scenario: every uptime is 10 s, the task needs
+        1000 s uninterrupted — no tier may ever complete it, and all
+        must truncate identically."""
+        n = 8
+        te = np.full(n, 1000.0)
+        x = np.ones(n, dtype=np.int64)
+        dists = {0: Empirical([10.0])}  # always draws exactly 10.0
+        ids = np.zeros(n, dtype=np.int64)
+        vec = simulate_tasks(te, x, 0.0, 2.0, ids, dists,
+                             np.random.default_rng(0),
+                             max_segments=self.MAX_SEG)
+        blk = simulate_tasks_blocked(te, x, 0.0, 2.0, ids, dists,
+                                     np.random.default_rng(0),
+                                     max_segments=self.MAX_SEG)
+        ref = simulate_task(1000.0, 1, 0.0, 2.0, _ConstantInjector(10.0),
+                            max_segments=self.MAX_SEG)
+        assert not ref.completed
+        assert ref.n_failures == self.MAX_SEG
+        assert ref.n_checkpoints == 0  # nothing ever committed
+        assert ref.wallclock == pytest.approx(self.MAX_SEG * 12.0)
+        for batch in (vec, blk):
+            assert not batch.completed.any()
+            np.testing.assert_array_equal(batch.n_failures, self.MAX_SEG)
+            np.testing.assert_allclose(batch.wallclock, ref.wallclock)
+        assert vec.digest() == blk.digest()
+
+    def test_scalar_truncation_reports_committed_checkpoints(self):
+        """te=100, x=4 (L=25, C=2, cycle=27): uptime 30 commits exactly
+        one checkpoint per segment until the cap."""
+        out = simulate_task(100.0, 4, 2.0, 1.0, _ConstantInjector(30.0),
+                            max_segments=2)
+        assert not out.completed
+        assert out.n_failures == 2
+        assert out.n_checkpoints == 2  # one per 30-s uptime (30 // 27)
+
+    def test_summary_surfaces_truncation_count(self):
+        n = 5
+        dists = {0: Empirical([10.0])}
+        res = simulate_tasks(np.full(n, 1000.0), np.ones(n, dtype=np.int64),
+                             0.0, 0.0, np.zeros(n, dtype=np.int64), dists,
+                             np.random.default_rng(0), max_segments=10)
+        s = res.summary()
+        assert s["n_truncated"] == float(n)
+        assert s["completion_rate"] == 0.0
+
+    def test_summary_zero_truncated_when_all_complete(self, rng):
+        res = simulate_tasks(np.full(10, 100.0), np.full(10, 2), 1.0, 1.0,
+                             np.zeros(10, dtype=np.int64),
+                             {0: Exponential(1 / 1000.0)}, rng)
+        assert res.summary()["n_truncated"] == 0.0
+
+
+class TestCanonicalWprSemantics:
+    """Regression pins for the unified WPR definition (clamped to
+    [0, 1]; wallclock <= 0 maps to 0.0) across the simulation layer."""
+
+    def test_task_outcome_clamped(self):
+        from repro.core.simulate import TaskOutcome
+
+        out = TaskOutcome(te=100.0, wallclock=106.0, n_failures=0,
+                          n_checkpoints=3, intervals=4, completed=True)
+        assert out.wpr == pytest.approx(100.0 / 106.0)
+        degenerate = TaskOutcome(te=100.0, wallclock=0.0, n_failures=0,
+                                 n_checkpoints=0, intervals=1,
+                                 completed=False)
+        assert degenerate.wpr == 0.0
+        # float noise above 1 clamps instead of leaking
+        noisy = TaskOutcome(te=100.0 * (1 + 1e-12), wallclock=100.0,
+                            n_failures=0, n_checkpoints=0, intervals=1,
+                            completed=True)
+        assert noisy.wpr == 1.0
+
+    def test_simulation_result_clamped(self):
+        from repro.core.simulate import SimulationResult
+
+        res = SimulationResult(
+            te=np.array([100.0, 50.0, 10.0]),
+            wallclock=np.array([200.0, 0.0, 10.0 - 1e-13]),
+            n_failures=np.zeros(3, dtype=np.int64),
+            intervals=np.ones(3, dtype=np.int64),
+            completed=np.array([True, False, True]),
+        )
+        np.testing.assert_allclose(res.wpr, [0.5, 0.0, 1.0])
+        assert res.summary()["mean_wpr"] == pytest.approx((0.5 + 0.0 + 1.0) / 3)
+
+    def test_matches_metrics_task_wpr(self):
+        """One definition across layers: the simulation tiers and
+        metrics.task_wpr agree wherever the latter's validation admits
+        the input."""
+        from repro.core.simulate import TaskOutcome
+        from repro.metrics.wpr import task_wpr
+
+        out = TaskOutcome(te=90.0, wallclock=120.0, n_failures=1,
+                          n_checkpoints=2, intervals=3, completed=True)
+        assert out.wpr == task_wpr(90.0, 120.0)
