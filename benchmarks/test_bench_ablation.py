@@ -21,12 +21,15 @@ import pytest
 
 from repro.experiments.registry import get_experiment
 from repro.core.policies import (
-    DalyPolicy,
-    NoCheckpointPolicy,
     OptimalCountPolicy,
     YoungPolicy,
 )
-from repro.experiments.common import default_trace, evaluate_policy, flatten_trace
+from repro.experiments.common import (
+    default_trace,
+    evaluate_policy,
+    flatten_trace,
+    policy_run_spec,
+)
 from repro.failures.catalog import google_like_catalog
 from repro.trace.sampler import failed_job_sample
 from repro.trace.synthesizer import TraceConfig, synthesize_trace
@@ -36,8 +39,8 @@ SEED = 2013
 
 
 def _gap(trace, **kwargs) -> tuple[float, float]:
-    f3 = evaluate_policy(trace, OptimalCountPolicy(), **kwargs)
-    yg = evaluate_policy(trace, YoungPolicy(), **kwargs)
+    f3 = evaluate_policy(policy_run_spec("optimal", **kwargs), trace=trace)
+    yg = evaluate_policy(policy_run_spec("young", **kwargs), trace=trace)
     return f3.mean_wpr(), yg.mean_wpr()
 
 
@@ -47,11 +50,11 @@ def test_ablation_policy_zoo(benchmark):
 
     def run():
         out = {}
-        for pol in (OptimalCountPolicy(), YoungPolicy(), DalyPolicy(),
-                    NoCheckpointPolicy()):
-            out[pol.name] = evaluate_policy(
-                trace, pol, estimation="priority"
-            ).mean_wpr()
+        for pol in ("optimal", "young", "daly", "none"):
+            run = evaluate_policy(
+                policy_run_spec(pol, estimation="priority"), trace=trace
+            )
+            out[run.policy_name] = run.mean_wpr()
         return out
 
     scores = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -19,8 +19,7 @@ import sys
 
 import numpy as np
 
-from repro import DalyPolicy, NoCheckpointPolicy, OptimalCountPolicy, YoungPolicy
-from repro.experiments.common import evaluate_policy
+from repro.experiments.common import evaluate_policy, policy_run_spec
 from repro.metrics.summary import compare_wallclock
 from repro.trace.sampler import failed_job_sample
 from repro.trace.stats import build_estimator
@@ -43,11 +42,10 @@ def main(n_jobs: int = 3000) -> None:
         print(f"  {p:4d}   {g.n_tasks:7d}   {g.mnof:5.2f}   {g.mtbf:8.0f}s")
 
     runs = {}
-    for policy in (OptimalCountPolicy(), YoungPolicy(), DalyPolicy(),
-                   NoCheckpointPolicy()):
-        runs[policy.name] = evaluate_policy(
-            trace, policy, estimation="priority"
-        )
+    for policy in ("optimal", "young", "daly", "none"):
+        spec = policy_run_spec(policy, estimation="priority")
+        run = evaluate_policy(spec, trace=trace)
+        runs[run.policy_name] = run
 
     print("\nWorkload-Processing Ratio (Eq. 9), identical replayed failures:")
     print(f"  {'policy':>10}   {'avg WPR':>8} {'ST':>7} {'BoT':>7} "

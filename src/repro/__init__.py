@@ -21,6 +21,7 @@ paper-vs-measured record of every reproduced table and figure.
 """
 
 from repro._version import __version__
+from repro.spec import RunSpec, SpecError, load_spec
 from repro.core import (
     AdaptiveCheckpointer,
     CheckpointPolicy,
@@ -55,17 +56,31 @@ __all__ = [
     "MigrationType",
     "NoCheckpointPolicy",
     "OptimalCountPolicy",
+    "RunSpec",
+    "SpecError",
     "TaskProfile",
     "TraceConfig",
     "YoungPolicy",
     "__version__",
     "expected_wallclock",
     "google_like_catalog",
+    "load_spec",
     "optimal_interval_count",
     "optimal_interval_count_int",
+    "run",
     "select_storage",
     "simulate_task",
     "simulate_tasks",
     "synthesize_trace",
     "young_interval",
 ]
+
+
+def __getattr__(name: str):
+    # ``repro.run`` / ``repro.RunResult`` load the facade lazily so the
+    # spec vocabulary stays importable without the execution tiers.
+    if name in ("run", "RunResult"):
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,442 @@
+"""``repro.api`` — one facade over every execution tier.
+
+:func:`run` takes a declarative :class:`~repro.spec.RunSpec` and
+dispatches it to the right engine:
+
+* ``tier="scalar"`` — the per-task scalar reference loop (the
+  golden-pinned tier);
+* ``tier="vector"`` — the blocked Monte-Carlo batch through
+  :mod:`repro.parallel` (bit-identical for every worker count);
+* ``tier="des"`` — the discrete-event cluster simulation;
+* ``tier="replay"`` — the trace-driven policy-evaluation pipeline
+  (:func:`repro.experiments.common.evaluate_policy`), also sharded
+  through :mod:`repro.parallel` when ``execution.workers > 1``.
+
+The scalar/vector/des tiers execute by *lowering* the spec to a
+:class:`~repro.verify.scenarios.Scenario` and reusing the verify
+subsystem's workload builder, so a spec lowered from a registered
+scenario reproduces that scenario's golden scalar digest bit-for-bit
+(:func:`verify_lowering` checks all of them; CI gates on it).
+
+The module doubles as the ``repro run`` CLI::
+
+    repro run --spec examples/specs/daly-shared.json
+    repro run --scenario exp-baseline-local --set execution.tier=vector
+    repro run --spec run.toml --set policy.name=young --out result.json
+    repro run --check-lowering        # all scenarios vs golden digests
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.spec import (
+    ExecutionSpec,
+    FailureLawSpec,
+    FailureSpec,
+    PolicySpec,
+    RunSpec,
+    SpecError,
+    StorageSpec,
+    WorkloadSpec,
+    load_spec,
+)
+from repro.verify.runner import TierResult, run_des, run_scalar, run_vector
+from repro.verify.scenarios import (
+    FailureLaw,
+    Scenario,
+    build_workload,
+    get_scenario,
+    list_scenarios,
+)
+
+__all__ = [
+    "RunResult",
+    "main",
+    "run",
+    "scenario_spec",
+    "scenario_to_spec",
+    "spec_to_scenario",
+    "verify_lowering",
+]
+
+# ----------------------------------------------------------------------
+# Scenario <-> RunSpec lowering.
+# ----------------------------------------------------------------------
+def scenario_to_spec(
+    scenario: Scenario,
+    *,
+    base_seed: int = 0,
+    tier: str = "scalar",
+    workers: int = 1,
+) -> RunSpec:
+    """Lower a verify :class:`Scenario` to an equivalent :class:`RunSpec`.
+
+    The lowering is exact: :func:`spec_to_scenario` inverts it
+    field-for-field, so running the lowered spec reproduces the
+    scenario's workload (and therefore its golden scalar digest)
+    bit-for-bit.
+    """
+    return RunSpec(
+        name=scenario.name,
+        description=scenario.description,
+        tags=tuple(scenario.axes),
+        workload=WorkloadSpec(
+            source="google" if scenario.from_trace else "synthetic",
+            n_tasks=scenario.n_tasks,
+            te_mode=scenario.te_mode,
+            te_mean=scenario.te_mean,
+            te_sigma=scenario.te_sigma,
+            te_min=scenario.te_min,
+            te_max=scenario.te_max,
+            mem_mean=scenario.mem_mean,
+            mem_sigma=scenario.mem_sigma,
+            mem_min=scenario.mem_min,
+            mem_max=scenario.mem_max,
+            arrival=scenario.arrival,
+            arrival_rate=scenario.arrival_rate,
+            burst_size=scenario.burst_size,
+            trace_jobs=scenario.trace_jobs,
+            trace_arrival=scenario.trace_arrival,
+            trace_burst_size=scenario.trace_burst_size,
+        ),
+        failures=FailureSpec(
+            laws=tuple(
+                FailureLawSpec(priority=law.priority, family=law.family,
+                               mean=law.mean, shape=law.shape)
+                for law in scenario.laws
+            ),
+            host_mtbf=scenario.host_mtbf,
+            host_repair_time=scenario.host_repair_time,
+        ),
+        storage=StorageSpec(mode=scenario.storage),
+        policy=PolicySpec(name=scenario.policy, param=scenario.policy_param),
+        execution=ExecutionSpec(
+            tier=tier,
+            base_seed=base_seed,
+            workers=workers,
+            n_hosts=scenario.n_hosts,
+            vms_per_host=scenario.vms_per_host,
+            vms_per_host_pattern=scenario.vms_per_host_pattern,
+            failure_detection_delay=scenario.failure_detection_delay,
+            placement_overhead=scenario.placement_overhead,
+            compare=scenario.compare,
+            loose_lo=scenario.loose_lo,
+            loose_hi=scenario.loose_hi,
+            quick=scenario.quick,
+        ),
+    )
+
+
+def spec_to_scenario(spec: RunSpec) -> Scenario:
+    """Raise a :class:`RunSpec` back into a verify :class:`Scenario`.
+
+    This is how the scalar/vector/des tiers execute a spec: the
+    scenario builder (:func:`repro.verify.scenarios.build_workload`) is
+    a pure function of ``(scenario, base_seed)``, so reusing it keeps
+    every digest guarantee the verify subsystem pins.
+    """
+    w, f, ex = spec.workload, spec.failures, spec.execution
+    if w.source == "history":
+        raise SpecError(
+            f"{spec.name}: 'history' workloads run on the replay tier "
+            "(repro.experiments), not through a scenario"
+        )
+    return Scenario(
+        name=spec.name,
+        description=spec.description,
+        axes=tuple(spec.tags),
+        laws=tuple(
+            FailureLaw(priority=law.priority, family=law.family,
+                       mean=law.mean, shape=law.shape)
+            for law in f.laws
+        ),
+        n_tasks=w.n_tasks,
+        te_mode=w.te_mode,
+        te_mean=w.te_mean,
+        te_sigma=w.te_sigma,
+        te_min=w.te_min,
+        te_max=w.te_max,
+        mem_mean=w.mem_mean,
+        mem_sigma=w.mem_sigma,
+        mem_min=w.mem_min,
+        mem_max=w.mem_max,
+        policy=spec.policy.name,
+        policy_param=spec.policy.param,
+        storage=spec.storage.mode,
+        arrival=w.arrival,
+        arrival_rate=w.arrival_rate,
+        burst_size=w.burst_size,
+        n_hosts=ex.n_hosts,
+        vms_per_host=ex.vms_per_host,
+        vms_per_host_pattern=ex.vms_per_host_pattern,
+        failure_detection_delay=ex.failure_detection_delay,
+        placement_overhead=ex.placement_overhead,
+        host_mtbf=f.host_mtbf,
+        host_repair_time=f.host_repair_time,
+        from_trace=w.source == "google",
+        trace_jobs=w.trace_jobs,
+        trace_arrival=w.trace_arrival,
+        trace_burst_size=w.trace_burst_size,
+        compare=ex.compare,
+        loose_lo=ex.loose_lo,
+        loose_hi=ex.loose_hi,
+        quick=ex.quick,
+    )
+
+
+def scenario_spec(
+    name: str, *, base_seed: int = 0, tier: str = "scalar", workers: int = 1
+) -> RunSpec:
+    """Look up a registered scenario by name and lower it to a spec."""
+    return scenario_to_spec(
+        get_scenario(name), base_seed=base_seed, tier=tier, workers=workers
+    )
+
+
+# ----------------------------------------------------------------------
+# The facade.
+# ----------------------------------------------------------------------
+@dataclass
+class RunResult:
+    """What one spec produced on one tier.
+
+    ``digest`` is the bit-level result fingerprint
+    (:meth:`SimulationResult.digest`), worker-count invariant on every
+    tier that accepts workers; ``summary`` are the scalar statistics
+    the verify subsystem holds against tolerances.
+    """
+
+    spec: RunSpec
+    tier: str
+    seed: int
+    digest: str | None
+    summary: dict[str, float]
+    elapsed_s: float
+    extra: dict[str, float] = field(default_factory=dict)
+    #: per-task arrays (replay tier); the other tiers carry them
+    #: inside ``tier_result``
+    sim: object | None = None
+    tier_result: TierResult | None = None
+    policy_run: object | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready report fragment (spec + summaries, no arrays)."""
+        return {
+            "name": self.spec.name,
+            "tier": self.tier,
+            "seed": self.seed,
+            "spec_digest": self.spec.spec_digest(),
+            "digest": self.digest,
+            "summary": self.summary,
+            "extra": self.extra,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "spec": self.spec.to_dict(),
+        }
+
+
+def run(spec: RunSpec, *, trace=None, catalog=None) -> RunResult:
+    """Execute ``spec`` on the tier it names and return a :class:`RunResult`.
+
+    A pure function of the spec: equal specs produce bit-identical
+    result digests, for every ``execution.workers`` value.  ``trace``
+    optionally overrides the replay tier's materialized trace (for
+    pre-filtered job samples) and ``catalog`` backs redraw mode when
+    that override lacks frailty scales; both are rejected on the other
+    tiers because their workloads are fully described by the spec.
+    """
+    t0 = time.perf_counter()
+    tier = spec.execution.tier
+    if tier == "replay":
+        from repro.experiments.common import evaluate_policy
+
+        pr = evaluate_policy(spec, catalog=catalog, trace=trace)
+        sim = pr.sim
+        return RunResult(
+            spec=spec,
+            tier=tier,
+            seed=spec.execution.base_seed,
+            digest=sim.digest(),
+            summary=sim.summary(),
+            elapsed_s=time.perf_counter() - t0,
+            extra={
+                "n_jobs_sampled": float(pr.job_wpr.size),
+                "mean_job_wpr": pr.mean_wpr(),
+                "lowest_job_wpr": pr.lowest_wpr(),
+                "mean_job_wall": float(np.mean(pr.job_wall)),
+            },
+            sim=sim,
+            policy_run=pr,
+        )
+    if trace is not None or catalog is not None:
+        raise SpecError(
+            "the trace/catalog overrides only apply to the replay tier"
+        )
+    workload = build_workload(spec_to_scenario(spec),
+                              spec.execution.base_seed)
+    if tier == "scalar":
+        tr = run_scalar(workload)
+    elif tier == "vector":
+        tr = run_vector(workload, workers=spec.execution.workers)
+    else:  # "des" — the spec validated tier membership already
+        tr = run_des(workload)
+    return RunResult(
+        spec=spec,
+        tier=tier,
+        seed=workload.seed,
+        digest=tr.digest,
+        summary=tr.summary,
+        elapsed_s=time.perf_counter() - t0,
+        extra={k: float(v) for k, v in tr.extra.items()},
+        tier_result=tr,
+    )
+
+
+def verify_lowering(base_seed: int = 0, golden_dir=None) -> list[dict]:
+    """Lower every registered scenario to a spec, run the scalar tier
+    from the lowered spec, and compare against the golden digests.
+
+    Returns one row per scenario:
+    ``{"scenario", "digest", "golden", "match"}``.  CI gates on every
+    row matching — this is the proof that the RunSpec path is not a
+    fourth divergent description of a run but the same computation.
+    """
+    from repro.verify.golden import load_golden
+
+    rows = []
+    for scenario in list_scenarios():
+        spec = scenario_to_spec(scenario, base_seed=base_seed, tier="scalar")
+        result = run(spec)
+        golden = load_golden(scenario.name, golden_dir)
+        pinned = golden["scalar"]["digest"] if golden else None
+        rows.append({
+            "scenario": scenario.name,
+            "digest": result.digest,
+            "golden": pinned,
+            "match": pinned is not None and result.digest == pinned,
+        })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# The ``repro run`` CLI.
+# ----------------------------------------------------------------------
+def _parse_set(text: str) -> tuple[str, object]:
+    """Parse one ``--set key=value`` override (value JSON-or-string)."""
+    key, sep, raw = text.partition("=")
+    if not sep or not key:
+        raise SpecError(f"--set needs key=value, got {text!r}")
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return key, value
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro run",
+        description=(
+            "Execute one declarative RunSpec (JSON or TOML) on the "
+            "scalar, vector, DES, or replay tier.  Results are "
+            "bit-identical for every --set execution.workers value."
+        ),
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--spec", metavar="PATH",
+                        help="spec file (.json or .toml)")
+    source.add_argument("--scenario", metavar="NAME",
+                        help="start from a registered verify scenario, "
+                             "lowered to a spec")
+    source.add_argument("--check-lowering", action="store_true",
+                        help="lower all registered scenarios, re-run the "
+                             "scalar tier from the lowered specs, and check "
+                             "the golden digests reproduce bit-for-bit")
+    parser.add_argument("--set", metavar="KEY=VALUE", action="append",
+                        default=[], dest="overrides",
+                        help="dotted-path spec override, e.g. "
+                             "--set policy.name=young "
+                             "--set execution.workers=4 (repeatable)")
+    parser.add_argument("--print-spec", action="store_true",
+                        help="print the resolved spec as JSON and exit "
+                             "without running")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="write the JSON run report here")
+    return parser
+
+
+def _check_lowering_main(out: str | None) -> int:
+    rows = verify_lowering()
+    for row in rows:
+        status = "ok" if row["match"] else "MISMATCH"
+        print(f"{row['scenario']:28s} {status:8s} spec-run "
+              f"{(row['digest'] or '?')[:16]}  golden "
+              f"{(row['golden'] or 'missing')[:16]}")
+    n_bad = sum(not r["match"] for r in rows)
+    print(f"\n{len(rows) - n_bad}/{len(rows)} lowered scenarios reproduce "
+          "their golden scalar digest")
+    if out:
+        Path(out).write_text(json.dumps(rows, indent=2) + "\n")
+        print(f"[report written to {out}]")
+    return 0 if n_bad == 0 else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro run``; returns an exit status."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.check_lowering:
+            if args.overrides or args.print_spec:
+                parser.error("--check-lowering takes no --set/--print-spec")
+            return _check_lowering_main(args.out)
+        if args.spec:
+            spec = load_spec(args.spec)
+        elif args.scenario:
+            try:
+                spec = scenario_spec(args.scenario)
+            except KeyError as exc:
+                print(f"error: {exc.args[0]}", file=sys.stderr)
+                return 2
+        else:
+            parser.error("one of --spec, --scenario, --check-lowering "
+                         "is required")
+        if args.overrides:
+            spec = spec.evolve(
+                **dict(_parse_set(item) for item in args.overrides)
+            )
+        if args.print_spec:
+            print(spec.to_json(), end="")
+            return 0
+        result = run(spec)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summary = result.summary
+    print(f"{spec.name} [{result.tier}] seed={result.seed} "
+          f"spec={spec.spec_digest()[:12]}")
+    print(f"  n_tasks={summary['n_tasks']:.0f} "
+          f"mean_wallclock={summary['mean_wallclock']:.3f} "
+          f"mean_wpr={summary['mean_wpr']:.4f} "
+          f"mean_failures={summary['mean_failures']:.3f} "
+          f"completion={summary['completion_rate']:.3f}")
+    for key in sorted(result.extra):
+        print(f"  {key}={result.extra[key]:.6g}")
+    print(f"  digest {result.digest}  ({result.elapsed_s:.2f}s)")
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(result.to_dict(), indent=2) + "\n"
+        )
+        print(f"[report written to {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

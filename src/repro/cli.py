@@ -7,6 +7,8 @@ Usage::
     repro verify --quick              # cross-tier differential verification
     repro verify --update-golden
     repro sweep --workers 4           # parallel experiment-grid runner
+    repro run --spec run.json         # execute one declarative RunSpec
+    repro run --scenario exp-baseline-local --set execution.tier=vector
 
     repro-experiments fig9            # legacy alias, still supported
 
@@ -51,6 +53,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.parallel.sweep import main as sweep_main
 
         return sweep_main(args[1:])
+    if args and args[0] == "run":
+        from repro.api import main as run_main
+
+        return run_main(args[1:])
     if args and args[0] == "experiments":
         args = args[1:]
     return main_experiments(args)

@@ -22,6 +22,7 @@ tier:
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -41,6 +42,15 @@ from repro.storage.costmodel import (
     checkpoint_cost_nfs,
     restart_cost,
 )
+from repro.spec import (
+    ExecutionSpec,
+    FailureSpec,
+    PolicySpec,
+    RunSpec,
+    SpecError,
+    StorageSpec,
+    WorkloadSpec,
+)
 from repro.trace.models import JobType, Trace
 from repro.trace.sampler import failed_job_sample
 from repro.trace.stats import build_estimator
@@ -49,10 +59,13 @@ from repro.trace.synthesizer import TraceConfig, synthesize_trace
 __all__ = [
     "FlatTasks",
     "PolicyRun",
+    "clear_trace_cache",
     "default_trace",
     "evaluate_policy",
     "flatten_trace",
+    "policy_run_spec",
     "storage_costs",
+    "trace_cache_stats",
 ]
 
 #: Default job count for the headline experiments (the paper uses 300k
@@ -84,14 +97,44 @@ def default_trace(
     ``only_failed_jobs`` applies the paper's §5.1 sample rule: keep
     jobs at least half of whose tasks suffered a failure.
 
-    Each call returns a *fresh* :class:`~repro.trace.models.Trace`
-    wrapper over the cached (frozen) job tuple, so no caller can poison
-    the process-wide cache: the jobs and tasks themselves are frozen
-    dataclasses, and even forcibly rebinding attributes on the returned
-    wrapper (``object.__setattr__``) only touches the caller's private
-    copy.
+    The memoization is deliberately two-layered: the expensive
+    synthesis + sampling lives behind ``_default_trace_cached`` (a
+    process-wide ``lru_cache``), while this wrapper hands every caller
+    a *fresh* :class:`~repro.trace.models.Trace` over the cached
+    (frozen) job tuple, so no caller can poison the shared cache — the
+    jobs and tasks are frozen dataclasses, and even forcibly rebinding
+    attributes on the returned wrapper (``object.__setattr__``) only
+    touches the caller's private copy.  :func:`trace_cache_stats`
+    reports on the inner layer; long-lived processes can drop it with
+    :func:`clear_trace_cache`.
     """
     return Trace(jobs=_default_trace_cached(n_jobs, seed, only_failed_jobs).jobs)
+
+
+def trace_cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters of the shared evaluation-trace cache.
+
+    Keys mirror :func:`functools.lru_cache`'s ``cache_info``:
+    ``hits``, ``misses``, ``currsize``, ``maxsize``.
+    """
+    info = _default_trace_cached.cache_info()
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "currsize": info.currsize,
+        "maxsize": info.maxsize,
+    }
+
+
+def clear_trace_cache() -> None:
+    """Drop every memoized evaluation trace.
+
+    Traces already handed out stay valid (callers hold their own
+    wrappers over frozen job tuples); this only releases the
+    process-wide memory so long-lived workers can bound their
+    footprint.
+    """
+    _default_trace_cached.cache_clear()
 
 
 @dataclass
@@ -241,32 +284,198 @@ def storage_costs(
     )
 
 
-def evaluate_policy(
-    trace: Trace,
-    policy: CheckpointPolicy,
+def policy_run_spec(
+    policy: str,
+    *,
+    policy_param: float = 0.0,
+    n_jobs: int = DEFAULT_N_JOBS,
+    trace_seed: int = 2013,
+    only_failed_jobs: bool = True,
     estimation: str = "priority",
     failure_mode: str = "replay",
-    length_cap: float = math.inf,
-    catalog=None,
+    length_cap: float | None = None,
+    storage: str = "auto",
     seed: int = 99,
     restart_delay: float = 0.0,
-    storage: str = "auto",
     workers: int = 1,
-) -> PolicyRun:
-    """Run one policy over every task of ``trace`` (see module docstring).
+    name: str | None = None,
+) -> RunSpec:
+    """Build the replay-tier :class:`RunSpec` for one policy evaluation.
 
-    ``failure_mode`` is ``"replay"`` (each task re-experiences its
-    historical intervals — identical failures across policies) or
-    ``"redraw"`` (fresh intervals from ``catalog``; needs ``catalog``).
-    ``length_cap`` restricts the priority-group estimation to tasks at
-    most that long (the paper's RL-capped estimation for Figs. 11–13).
-    ``storage`` picks the checkpoint backend per :func:`storage_costs`.
-
-    ``workers`` fans the Monte-Carlo batch out over a process pool via
-    :mod:`repro.parallel` — results are bit-for-bit identical for every
-    worker count (replay mode additionally matches the historical
-    single-chunk execution exactly).
+    This is the declarative form of the historical
+    ``evaluate_policy(default_trace(n_jobs, seed), policy, ...)``
+    keyword recipe — same defaults, same semantics — used by the
+    paper-artifact experiments and the sweep grids.
     """
+    return RunSpec(
+        name=name or f"{policy}-{storage}-j{n_jobs}-t{trace_seed}",
+        workload=WorkloadSpec(
+            source="history",
+            n_jobs=n_jobs,
+            trace_seed=trace_seed,
+            only_failed_jobs=only_failed_jobs,
+        ),
+        failures=FailureSpec(mode=failure_mode),
+        storage=StorageSpec(mode=storage),
+        policy=PolicySpec(name=policy, param=policy_param,
+                          estimation=estimation, length_cap=length_cap),
+        execution=ExecutionSpec(tier="replay", base_seed=seed,
+                                workers=workers,
+                                restart_delay=restart_delay),
+    )
+
+
+#: sentinel distinguishing "not passed" from an explicit default value,
+#: so the spec path can reject engine kwargs instead of ignoring them.
+_UNSET = object()
+
+#: the legacy calling convention's engine defaults.
+_ENGINE_DEFAULTS = dict(
+    estimation="priority",
+    failure_mode="replay",
+    length_cap=math.inf,
+    seed=99,
+    restart_delay=0.0,
+    storage="auto",
+    workers=1,
+)
+
+
+def evaluate_policy(
+    spec_or_trace=None,
+    policy: CheckpointPolicy | None = None,
+    estimation: str = _UNSET,
+    failure_mode: str = _UNSET,
+    length_cap: float = _UNSET,
+    catalog=None,
+    seed: int = _UNSET,
+    restart_delay: float = _UNSET,
+    storage: str = _UNSET,
+    workers: int = _UNSET,
+    *,
+    trace: Trace | None = None,
+) -> PolicyRun:
+    """Run one policy evaluation (see module docstring).
+
+    The canonical call passes a replay-tier
+    :class:`~repro.spec.RunSpec` (build one with
+    :func:`policy_run_spec` or lower a sweep point), optionally with
+    ``trace=`` overriding the materialized evaluation trace for
+    pre-filtered job samples::
+
+        evaluate_policy(policy_run_spec("optimal", estimation="oracle"))
+        evaluate_policy(spec, trace=filter_by_length(base, 1000.0))
+
+    The legacy ``evaluate_policy(trace, policy, **kwargs)`` form is
+    deprecated (it warns once per call) but produces bit-identical
+    results: both forms funnel into the same engine.
+
+    Engine semantics: ``failure_mode`` is ``"replay"`` (each task
+    re-experiences its historical intervals — identical failures
+    across policies) or ``"redraw"`` (fresh intervals from the frailty
+    ground truth, or from ``catalog`` when per-task scales are
+    missing).  ``length_cap`` restricts the priority-group estimation
+    to tasks at most that long (the paper's RL-capped estimation for
+    Figs. 11–13).  ``storage`` picks the checkpoint backend per
+    :func:`storage_costs`.  ``workers`` fans the Monte-Carlo batch out
+    over a process pool via :mod:`repro.parallel` — results are
+    bit-for-bit identical for every worker count.
+    """
+    passed = {
+        k: v for k, v in (
+            ("estimation", estimation), ("failure_mode", failure_mode),
+            ("length_cap", length_cap), ("seed", seed),
+            ("restart_delay", restart_delay), ("storage", storage),
+            ("workers", workers),
+        ) if v is not _UNSET
+    }
+    if isinstance(spec_or_trace, RunSpec):
+        if policy is not None:
+            raise TypeError(
+                "evaluate_policy(spec) takes the policy from the spec; "
+                "drop the positional policy argument"
+            )
+        if passed:
+            # Ignoring these would run a different experiment than the
+            # caller asked for; make half-migrated calls fail loudly.
+            raise TypeError(
+                "evaluate_policy(spec) takes these settings from the "
+                f"spec; unexpected keyword(s): {', '.join(sorted(passed))}"
+            )
+        return _evaluate_spec(spec_or_trace, trace=trace, catalog=catalog)
+    # Legacy forms: positional evaluate_policy(trace, policy, ...) and
+    # keyword evaluate_policy(trace=..., policy=...) — both deprecated,
+    # both bit-identical to the spec path (same engine).
+    if spec_or_trace is None:
+        spec_or_trace, trace = trace, None
+    if trace is not None:
+        raise TypeError(
+            "the trace= override is only valid with a RunSpec first "
+            "argument"
+        )
+    warnings.warn(
+        "evaluate_policy(trace, policy, **kwargs) is deprecated; build a "
+        "replay-tier RunSpec (repro.experiments.common.policy_run_spec or "
+        "repro.spec.RunSpec) and call evaluate_policy(spec) or "
+        "repro.api.run(spec) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if spec_or_trace is None or policy is None:
+        raise TypeError("legacy evaluate_policy needs a trace and a policy")
+    kw = {**_ENGINE_DEFAULTS, **passed}
+    return _evaluate(spec_or_trace, policy, kw["estimation"],
+                     kw["failure_mode"], kw["length_cap"], catalog,
+                     kw["seed"], kw["restart_delay"], kw["storage"],
+                     kw["workers"])
+
+
+def _evaluate_spec(
+    spec: RunSpec, trace: Trace | None = None, catalog=None
+) -> PolicyRun:
+    """Materialize and evaluate a replay-tier spec.
+
+    ``catalog`` backs ``failures.mode='redraw'`` when a ``trace``
+    override lacks per-task frailty scales (the default trace always
+    carries them).
+    """
+    from repro.verify.scenarios import make_policy
+
+    w, pol, ex = spec.workload, spec.policy, spec.execution
+    if ex.tier != "replay":
+        raise SpecError(
+            f"{spec.name}: evaluate_policy runs the 'replay' tier; this "
+            f"spec targets {ex.tier!r} — use repro.api.run(spec)"
+        )
+    if trace is None:
+        trace = default_trace(w.n_jobs, w.trace_seed, w.only_failed_jobs)
+    return _evaluate(
+        trace,
+        make_policy(pol.name, pol.param),
+        pol.estimation,
+        spec.failures.mode,
+        pol.length_cap if pol.length_cap is not None else math.inf,
+        catalog,
+        ex.base_seed,
+        ex.restart_delay,
+        spec.storage.mode,  # RunSpec validated the replay vocabulary
+        ex.workers,
+    )
+
+
+def _evaluate(
+    trace: Trace,
+    policy: CheckpointPolicy,
+    estimation: str,
+    failure_mode: str,
+    length_cap: float,
+    catalog,
+    seed: int,
+    restart_delay: float,
+    storage: str,
+    workers: int,
+) -> PolicyRun:
+    """The shared evaluation engine behind both calling conventions."""
     flat = flatten_trace(trace)
     mnof, mtbf = _estimates(flat, trace, estimation, length_cap)
     ckpt_cost, rst_cost = storage_costs(storage, flat.te, mnof, flat.mem_mb)

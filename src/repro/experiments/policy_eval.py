@@ -11,8 +11,11 @@ import math
 
 import numpy as np
 
-from repro.core.policies import OptimalCountPolicy, YoungPolicy
-from repro.experiments.common import default_trace, evaluate_policy
+from repro.experiments.common import (
+    default_trace,
+    evaluate_policy,
+    policy_run_spec,
+)
 from repro.experiments.registry import ExperimentReport, register
 from repro.experiments.reporting import render_table
 from repro.metrics.cdf import fraction_above, fraction_below
@@ -29,10 +32,11 @@ def table6(n_jobs: int = 4000, seed: int = 2013) -> ExperimentReport:
     Each task's MNOF/MTBF are its own historical values (oracle); the
     paper observes both formulas essentially coincide in this regime.
     """
-    trace = default_trace(n_jobs, seed)
     runs = {
-        "formula3": evaluate_policy(trace, OptimalCountPolicy(), estimation="oracle"),
-        "young": evaluate_policy(trace, YoungPolicy(), estimation="oracle"),
+        "formula3": evaluate_policy(policy_run_spec(
+            "optimal", n_jobs=n_jobs, trace_seed=seed, estimation="oracle")),
+        "young": evaluate_policy(policy_run_spec(
+            "young", n_jobs=n_jobs, trace_seed=seed, estimation="oracle")),
     }
     rows = []
     data: dict[str, dict[str, float]] = {}
@@ -72,9 +76,10 @@ def table6(n_jobs: int = 4000, seed: int = 2013) -> ExperimentReport:
 @register("fig9")
 def fig9(n_jobs: int = 4000, seed: int = 2013) -> ExperimentReport:
     """Fig. 9: WPR CDFs with per-priority estimation, ST vs BoT jobs."""
-    trace = default_trace(n_jobs, seed)
-    f3 = evaluate_policy(trace, OptimalCountPolicy(), estimation="priority")
-    yg = evaluate_policy(trace, YoungPolicy(), estimation="priority")
+    f3 = evaluate_policy(policy_run_spec(
+        "optimal", n_jobs=n_jobs, trace_seed=seed, estimation="priority"))
+    yg = evaluate_policy(policy_run_spec(
+        "young", n_jobs=n_jobs, trace_seed=seed, estimation="priority"))
     rows = []
     data: dict[str, float] = {}
     for label, bot in (("ST", False), ("BoT", True)):
@@ -110,9 +115,10 @@ def fig9(n_jobs: int = 4000, seed: int = 2013) -> ExperimentReport:
 @register("fig10")
 def fig10(n_jobs: int = 4000, seed: int = 2013) -> ExperimentReport:
     """Fig. 10: min/avg/max WPR per priority, both formulas."""
-    trace = default_trace(n_jobs, seed)
-    f3 = evaluate_policy(trace, OptimalCountPolicy(), estimation="priority")
-    yg = evaluate_policy(trace, YoungPolicy(), estimation="priority")
+    f3 = evaluate_policy(policy_run_spec(
+        "optimal", n_jobs=n_jobs, trace_seed=seed, estimation="priority"))
+    yg = evaluate_policy(policy_run_spec(
+        "young", n_jobs=n_jobs, trace_seed=seed, estimation="priority"))
     rows = []
     data: dict[int, dict[str, float]] = {}
     g_f3 = {g.key: g for g in group_min_avg_max(f3.job_wpr, f3.job_priority)}
@@ -164,12 +170,12 @@ def fig11(
         trace = filter_by_length(base, rl)
         if len(trace) == 0:
             continue
-        f3 = evaluate_policy(
-            trace, OptimalCountPolicy(), estimation="priority", length_cap=rl
-        )
-        yg = evaluate_policy(
-            trace, YoungPolicy(), estimation="priority", length_cap=rl
-        )
+        f3 = evaluate_policy(policy_run_spec(
+            "optimal", n_jobs=n_jobs, trace_seed=seed,
+            estimation="priority", length_cap=rl), trace=trace)
+        yg = evaluate_policy(policy_run_spec(
+            "young", n_jobs=n_jobs, trace_seed=seed,
+            estimation="priority", length_cap=rl), trace=trace)
         for name, run in (("formula3", f3), ("young", yg)):
             above = fraction_above(run.job_wpr, 0.9)
             rows.append([f"RL={rl:g}", name, len(trace),
@@ -207,12 +213,12 @@ def fig12(
         trace = filter_by_length(base, rl)
         if len(trace) == 0:
             continue
-        f3 = evaluate_policy(
-            trace, OptimalCountPolicy(), estimation="priority", length_cap=rl
-        )
-        yg = evaluate_policy(
-            trace, YoungPolicy(), estimation="priority", length_cap=rl
-        )
+        f3 = evaluate_policy(policy_run_spec(
+            "optimal", n_jobs=n_jobs, trace_seed=seed,
+            estimation="priority", length_cap=rl), trace=trace)
+        yg = evaluate_policy(policy_run_spec(
+            "young", n_jobs=n_jobs, trace_seed=seed,
+            estimation="priority", length_cap=rl), trace=trace)
         mean_delta = float(np.mean(yg.job_wall - f3.job_wall))
         median_delta = float(np.median(yg.job_wall - f3.job_wall))
         rows.append([
@@ -251,14 +257,12 @@ def fig13(
     """Fig. 13: per-job wall-clock ratio, formula (3) vs Young."""
     base = default_trace(n_jobs, seed)
     trace = filter_by_length(base, restricted_length)
-    f3 = evaluate_policy(
-        trace, OptimalCountPolicy(), estimation="priority",
-        length_cap=restricted_length,
-    )
-    yg = evaluate_policy(
-        trace, YoungPolicy(), estimation="priority",
-        length_cap=restricted_length,
-    )
+    f3 = evaluate_policy(policy_run_spec(
+        "optimal", n_jobs=n_jobs, trace_seed=seed,
+        estimation="priority", length_cap=restricted_length), trace=trace)
+    yg = evaluate_policy(policy_run_spec(
+        "young", n_jobs=n_jobs, trace_seed=seed,
+        estimation="priority", length_cap=restricted_length), trace=trace)
     cmp_ = compare_wallclock(f3.job_wall, yg.job_wall)
     rows = [
         ["jobs faster under formula (3)", cmp_.frac_a_faster,

@@ -20,7 +20,11 @@ import numpy as np
 from repro.cluster.config import ClusterConfig
 from repro.cluster.platform import CloudPlatform
 from repro.core.policies import OptimalCountPolicy, YoungPolicy
-from repro.experiments.common import default_trace, evaluate_policy
+from repro.experiments.common import (
+    default_trace,
+    evaluate_policy,
+    policy_run_spec,
+)
 from repro.experiments.registry import ExperimentReport, register
 from repro.experiments.reporting import render_table
 from repro.trace.stats import build_estimator
@@ -34,7 +38,8 @@ def crossval(n_jobs: int = 400, seed: int = 2013) -> ExperimentReport:
     trace = default_trace(n_jobs, seed)
     est = build_estimator(trace)
 
-    mc = evaluate_policy(trace, OptimalCountPolicy(), estimation="priority")
+    mc = evaluate_policy(policy_run_spec(
+        "optimal", n_jobs=n_jobs, trace_seed=seed, estimation="priority"))
 
     cfg = ClusterConfig(
         storage="auto",

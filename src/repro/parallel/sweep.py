@@ -18,10 +18,20 @@ bit-for-bit identical for every ``--workers`` value; ``--workers 1``
 is the serial fallback that never touches a pool.  Worker count is
 purely a wall-clock knob — pick the host's core count for large grids.
 
+Since the RunSpec redesign a grid is just a list of
+:class:`~repro.spec.RunSpec` values: the legacy flag axes lower each
+:class:`SweepPoint` to a spec (:meth:`SweepPoint.to_spec`) and execute
+it through :func:`repro.api.run`, and ``--spec base.json --axis
+key=v1,v2`` expands dotted-path overrides over a base spec via
+:func:`expand_grid` — any field of the spec tree becomes a sweepable
+axis for free.
+
 Usage::
 
     repro sweep --policies optimal,young,daly --storage auto \\
         --n-jobs 500,2000 --seeds 0,1 --workers 4 --out sweep.json
+    repro sweep --spec examples/specs/daly-shared.json \\
+        --axis policy.name=optimal,young --axis execution.base_seed=0,1
 """
 
 from __future__ import annotations
@@ -34,24 +44,24 @@ import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
-import numpy as np
-
 from repro.parallel.runner import _START_METHOD, default_workers
+from repro.spec import FAILURE_MODES, POLICY_NAMES, RunSpec, SpecError
 
 __all__ = [
     "SweepPoint",
     "build_grid",
+    "expand_grid",
     "main",
     "run_point",
+    "run_specs",
     "run_sweep",
 ]
 
 #: Policies the grid axis accepts (must be constructible without a
 #: parameter; parametrized policies go through ``policy_param``).
-KNOWN_POLICIES = ("optimal", "young", "daly", "none", "fixed-interval",
-                  "fixed-count")
+KNOWN_POLICIES = POLICY_NAMES
 KNOWN_STORAGE = ("auto", "local", "shared")
-KNOWN_FAILURE_MODES = ("replay", "redraw")
+KNOWN_FAILURE_MODES = FAILURE_MODES
 
 
 @dataclass(frozen=True)
@@ -97,6 +107,30 @@ class SweepPoint:
                 "(the interval count)"
             )
 
+    def to_spec(self) -> RunSpec:
+        """Lower this grid cell to its replay-tier :class:`RunSpec`.
+
+        The lowering preserves the historical execution exactly —
+        ``run_point`` evaluates the spec, and its digests are
+        bit-identical to the pre-RunSpec flag path.
+        """
+        from repro.experiments.common import policy_run_spec
+
+        return policy_run_spec(
+            self.policy,
+            policy_param=self.policy_param,
+            n_jobs=self.n_jobs,
+            trace_seed=self.trace_seed,
+            only_failed_jobs=self.only_failed_jobs,
+            estimation=self.estimation,
+            failure_mode=self.failure_mode,
+            storage=self.storage,
+            seed=self.sim_seed,
+            restart_delay=self.restart_delay,
+            name=f"sweep-{self.policy}-{self.storage}"
+                 f"-j{self.n_jobs}-t{self.trace_seed}",
+        )
+
 
 def build_grid(
     policies: list[str],
@@ -121,33 +155,23 @@ def run_point(point: SweepPoint) -> dict:
     # Imported here (not at module top) so pool workers under ``spawn``
     # pay the import once per process, and to keep this module
     # import-light for ``--list``-style CLI paths.
-    from repro.experiments.common import default_trace, evaluate_policy
-    from repro.verify.scenarios import make_policy
+    from repro import api
 
     t0 = time.perf_counter()
-    trace = default_trace(
-        point.n_jobs, seed=point.trace_seed,
-        only_failed_jobs=point.only_failed_jobs,
-    )
-    run = evaluate_policy(
-        trace,
-        make_policy(point.policy, point.policy_param),
-        estimation=point.estimation,
-        failure_mode=point.failure_mode,
-        storage=point.storage,
-        seed=point.sim_seed,
-        restart_delay=point.restart_delay,
-        workers=1,  # parallelism lives at the grid level
-    )
+    spec = point.to_spec()
+    # parallelism lives at the grid level, so the cell runs workers=1
+    result = api.run(spec)
+    run = result.policy_run
     return {
         **asdict(point),
-        "n_jobs_sampled": int(len(trace)),
+        "spec_digest": spec.spec_digest(),
+        "n_jobs_sampled": int(result.extra["n_jobs_sampled"]),
         "n_tasks": int(run.sim.n_tasks),
-        "digest": run.sim.digest(),
-        "summary": run.sim.summary(),
-        "mean_job_wpr": run.mean_wpr(),
-        "lowest_job_wpr": run.lowest_wpr(),
-        "mean_job_wall": float(np.mean(run.job_wall)),
+        "digest": result.digest,
+        "summary": result.summary,
+        "mean_job_wpr": result.extra["mean_job_wpr"],
+        "lowest_job_wpr": result.extra["lowest_job_wpr"],
+        "mean_job_wall": result.extra["mean_job_wall"],
         "elapsed_s": round(time.perf_counter() - t0, 3),
     }
 
@@ -176,6 +200,79 @@ def run_sweep(points: list[SweepPoint], workers: int = 1) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Spec-override grids: any RunSpec field is a sweepable axis.
+# ----------------------------------------------------------------------
+def expand_grid(
+    base: RunSpec, axes: "dict[str, list] | list[tuple[str, list]]"
+) -> list[RunSpec]:
+    """Cross-product of dotted-path overrides over a base spec.
+
+    ``axes`` maps dotted spec paths to value lists, e.g.
+    ``{"policy.name": ["optimal", "young"], "execution.base_seed":
+    [0, 1]}``.  Expansion order is deterministic: the first axis is the
+    outermost loop (matching :func:`build_grid`'s nesting).  Each
+    cell applies *all* of its overrides in one
+    :meth:`RunSpec.evolve` and only then revalidates — so
+    cross-constrained axes (say ``policy.name=fixed-interval`` plus
+    ``policy.param=60,120``) work in any axis order, while a genuinely
+    bad combination still fails at grid-build time, not mid-sweep in a
+    worker.
+    """
+    items = list(axes.items()) if isinstance(axes, dict) else list(axes)
+    combos: list[dict] = [{}]
+    for key, values in items:
+        if not values:
+            raise SpecError(f"axis {key!r} has no values")
+        combos = [{**combo, key: v} for combo in combos for v in values]
+    return [base.evolve(**combo) for combo in combos]
+
+
+def _run_spec_cell(spec_dict: dict) -> dict:
+    """Pool worker: execute one spec (shipped as its dict form)."""
+    from repro import api
+
+    t0 = time.perf_counter()
+    spec = RunSpec.from_dict(spec_dict)
+    result = api.run(spec)
+    record = result.to_dict()
+    record["elapsed_s"] = round(time.perf_counter() - t0, 3)
+    return record
+
+
+def run_specs(specs: list[RunSpec], workers: int = 1) -> dict:
+    """Execute a list of specs (serially or on a pool) into one report.
+
+    Cells are pure functions of their spec, so the report's digests are
+    identical for every ``workers`` value — the same contract as
+    :func:`run_sweep`.  Parallelism lives at the grid level: each
+    cell executes with ``execution.workers=1`` regardless of what the
+    base spec says (a cell inside a daemonic pool worker could not
+    spawn its own pool anyway, and digests are worker-invariant, so
+    this never changes results).
+    """
+    if not specs:
+        raise ValueError("cannot run an empty spec grid")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    t0 = time.perf_counter()
+    jobs = [s.evolve(**{"execution.workers": 1}).to_dict() for s in specs]
+    n_procs = min(workers, len(jobs))
+    if n_procs <= 1:
+        cells = [_run_spec_cell(j) for j in jobs]
+    else:
+        ctx = multiprocessing.get_context(_START_METHOD)
+        with ctx.Pool(processes=n_procs) as pool:
+            cells = pool.map(_run_spec_cell, jobs)
+    return {
+        "command": "repro sweep --spec",
+        "n_points": len(specs),
+        "workers": workers,
+        "elapsed_s": round(time.perf_counter() - t0, 3),
+        "points": cells,
+    }
+
+
+# ----------------------------------------------------------------------
 def _csv(value: str) -> list[str]:
     return [v.strip() for v in value.split(",") if v.strip()]
 
@@ -191,9 +288,19 @@ def _build_parser() -> argparse.ArgumentParser:
             "Run a policy × storage × trace-size experiment grid on a "
             "process pool and write the per-cell results (including "
             "bit-level digests) as JSON.  Results are identical for "
-            "every --workers value."
+            "every --workers value.  With --spec, the grid is instead a "
+            "cross product of dotted-path --axis overrides over a base "
+            "RunSpec file — any spec field becomes an axis."
         ),
     )
+    parser.add_argument("--spec", metavar="PATH", default=None,
+                        help="base RunSpec file (.json/.toml); switches to "
+                             "spec-override grid mode")
+    parser.add_argument("--axis", metavar="KEY=V1,V2[,...]", action="append",
+                        default=[], dest="axes",
+                        help="dotted-path override axis over the base spec, "
+                             "e.g. --axis policy.name=optimal,young "
+                             "(repeatable; first axis is the outer loop)")
     parser.add_argument("--policies", type=_csv, default=["optimal", "young"],
                         help="comma-separated policy names "
                              f"(known: {', '.join(KNOWN_POLICIES)})")
@@ -231,11 +338,64 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_axis(text: str) -> tuple[str, list]:
+    """Parse one ``--axis key=v1,v2`` into (dotted path, values).
+
+    Values parse as JSON where possible (numbers, booleans, null) and
+    fall back to plain strings (policy names, storage modes).
+    """
+    key, sep, raw = text.partition("=")
+    if not sep or not key or not raw:
+        raise SpecError(f"--axis needs key=v1[,v2...], got {text!r}")
+    values = []
+    for item in _csv(raw):
+        try:
+            values.append(json.loads(item))
+        except json.JSONDecodeError:
+            values.append(item)
+    if not values:
+        raise SpecError(f"--axis {key!r} has no values")
+    return key, values
+
+
+def _main_specs(args, workers: int) -> int:
+    """The ``--spec``/``--axis`` grid path of ``repro sweep``."""
+    from repro.spec import load_spec
+
+    try:
+        base = load_spec(args.spec)
+        axes = [_parse_axis(a) for a in args.axes]
+        specs = expand_grid(base, axes)
+        report = run_specs(specs, workers=workers)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        for cell in report["points"]:
+            wpr = cell["summary"]["mean_wpr"]
+            print(
+                f"{cell['name']:32.32s} [{cell['tier']:6s}] "
+                f"tasks={cell['summary']['n_tasks']:<8.0f} "
+                f"wpr={wpr:.4f} "
+                f"digest={cell['digest'][:12]}  {cell['elapsed_s']:6.2f}s"
+            )
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"[{report['n_points']} spec cell(s) on {workers} worker(s) in "
+        f"{report['elapsed_s']:.1f}s -> {args.out}]"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``repro sweep``; returns an exit status."""
     parser = _build_parser()
     args = parser.parse_args(argv)
     workers = args.workers if args.workers > 0 else default_workers()
+    if args.axes and not args.spec:
+        parser.error("--axis requires --spec (the base RunSpec file)")
+    if args.spec:
+        return _main_specs(args, workers)
     try:
         points = build_grid(
             args.policies, args.storage, args.n_jobs, args.seeds,

@@ -1,0 +1,816 @@
+"""Declarative run specifications: one serializable spec for every tier.
+
+The repo grew three divergent ways to describe "simulate this workload
+under these failures with this checkpoint policy" — verify scenarios,
+``evaluate_policy`` keyword soup, and sweep-grid tuples.  This module
+is the single declarative vocabulary behind all of them: a frozen,
+validated :class:`RunSpec` dataclass tree
+
+* :class:`WorkloadSpec` — where tasks come from (law-driven synthetic
+  batches, synthesized Google-like traces, or the historical
+  evaluation trace) and their shape;
+* :class:`FailureSpec` — per-priority interval laws, the replay-tier
+  failure source, and host-crash physics;
+* :class:`StorageSpec` — checkpoint backend selection;
+* :class:`PolicySpec` — checkpoint policy, its parameter, and how its
+  MNOF/MTBF inputs are estimated;
+* :class:`ExecutionSpec` — which tier runs the spec, seeding, worker
+  count, cluster topology, and verification strictness
+
+with exact ``to_dict``/``from_dict`` round-tripping, JSON and TOML
+(de)serialization, a canonical :meth:`RunSpec.spec_digest`, and
+dotted-path :meth:`RunSpec.evolve` overrides for grid expansion.
+
+The facade that executes a spec is :func:`repro.api.run`; this module
+stays dependency-light (stdlib only) so config tooling can import it
+without paying for NumPy.
+
+Serialization contract
+----------------------
+``from_dict(to_dict(spec)) == spec`` exactly (dataclass equality),
+and the same holds through JSON and TOML.  ``to_dict`` emits only
+plain JSON types (dicts, lists, strings, numbers, booleans, null);
+``from_dict`` fills missing keys with field defaults (so TOML, which
+cannot express null, simply omits ``None``-valued keys) and rejects
+unknown keys with :class:`SpecError`.  ``spec_digest`` hashes the
+canonical sorted-key JSON form minus the fields that cannot change
+results (worker count, prose, the quick-subset marker) — two specs
+with equal digests are the same experiment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # Python 3.10: stdlib tomllib arrived in 3.11
+    tomllib = None
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "ARRIVAL_MODES",
+    "COMPARE_MODES",
+    "DISTRIBUTION_FAMILIES",
+    "ESTIMATION_MODES",
+    "ExecutionSpec",
+    "FAILURE_MODES",
+    "FailureLawSpec",
+    "FailureSpec",
+    "POLICY_NAMES",
+    "PolicySpec",
+    "RunSpec",
+    "SPEC_VERSION",
+    "STORAGE_MODES",
+    "SpecError",
+    "StorageSpec",
+    "TE_MODES",
+    "TIERS",
+    "TRACE_ARRIVALS",
+    "WORKLOAD_SOURCES",
+    "WorkloadSpec",
+    "load_spec",
+]
+
+#: Serialized-form schema version, embedded in every ``to_dict`` and
+#: covered by the digest: a schema change is a different experiment.
+SPEC_VERSION = 1
+
+# ----------------------------------------------------------------------
+# Closed vocabularies.  Everything that used to live as ad-hoc string
+# checks in verify/scenarios.py and parallel/sweep.py validates against
+# these; error messages always list the valid names.
+# ----------------------------------------------------------------------
+DISTRIBUTION_FAMILIES = ("exponential", "weibull", "pareto", "lognormal",
+                         "mixture")
+POLICY_NAMES = ("optimal", "young", "daly", "fixed-interval", "fixed-count",
+                "none")
+STORAGE_MODES = ("local", "nfs", "dmnfs", "shared", "auto")
+TIERS = ("scalar", "vector", "des", "replay")
+WORKLOAD_SOURCES = ("synthetic", "google", "history")
+ARRIVAL_MODES = ("batch", "steady", "bursty")
+TRACE_ARRIVALS = ("poisson", "bursty")
+TE_MODES = ("lognormal", "fixed")
+COMPARE_MODES = ("exact", "stats", "loose")
+ESTIMATION_MODES = ("oracle", "priority")
+FAILURE_MODES = ("replay", "redraw")
+
+
+class SpecError(ValueError):
+    """A run specification failed validation.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    call sites (and tests) keep working.
+    """
+
+
+def _require(value: str, valid: tuple[str, ...], what: str) -> None:
+    if value not in valid:
+        raise SpecError(f"unknown {what} {value!r}; valid: {', '.join(valid)}")
+
+
+def _positive(value: float, what: str) -> None:
+    if not (isinstance(value, (int, float)) and math.isfinite(value)
+            and value > 0):
+        raise SpecError(f"{what} must be positive and finite, got {value!r}")
+
+
+def _non_negative(value: float, what: str) -> None:
+    if not (isinstance(value, (int, float)) and math.isfinite(value)
+            and value >= 0):
+        raise SpecError(f"{what} must be >= 0 and finite, got {value!r}")
+
+
+# ----------------------------------------------------------------------
+# Serialization helpers.
+# ----------------------------------------------------------------------
+def _check_keys(cls, data: dict) -> None:
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise SpecError(
+            f"unknown {cls.__name__} field(s): {', '.join(unknown)}; "
+            f"valid: {', '.join(sorted(known))}"
+        )
+
+
+def _pick(cls, data: dict, coerce: dict) -> dict:
+    """Extract known keys from ``data`` applying per-field coercions.
+
+    Missing keys fall back to the dataclass defaults; ``None`` passes
+    through untouched for Optional fields.
+    """
+    _check_keys(cls, data)
+    out = {}
+    for name, conv in coerce.items():
+        if name in data:
+            value = data[name]
+            try:
+                out[name] = value if value is None else conv(value)
+            except SpecError:
+                raise
+            except (TypeError, ValueError) as exc:
+                raise SpecError(
+                    f"bad value for {cls.__name__}.{name}: {value!r} ({exc})"
+                ) from None
+    return out
+
+
+def _int(value) -> int:
+    if isinstance(value, bool) or int(value) != value:
+        raise SpecError(f"expected an integer, got {value!r}")
+    return int(value)
+
+
+def _float(value) -> float:
+    if isinstance(value, bool):
+        raise SpecError(f"expected a number, got {value!r}")
+    return float(value)
+
+
+def _str(value) -> str:
+    if not isinstance(value, str):
+        raise SpecError(f"expected a string, got {value!r}")
+    return value
+
+
+def _bool(value) -> bool:
+    if not isinstance(value, bool):
+        raise SpecError(f"expected a boolean, got {value!r}")
+    return value
+
+
+def _int_tuple(value) -> tuple[int, ...]:
+    return tuple(_int(v) for v in value)
+
+
+def _str_tuple(value) -> tuple[str, ...]:
+    return tuple(_str(v) for v in value)
+
+
+def _plain(value):
+    """Convert a spec value into plain JSON types (tuples -> lists)."""
+    if isinstance(value, tuple):
+        return [_plain(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _plain(v) for k, v in value.items()}
+    return value
+
+
+# ----------------------------------------------------------------------
+# The spec tree.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FailureLawSpec:
+    """One priority's failure-interval law (family + target mean)."""
+
+    priority: int
+    family: str
+    mean: float
+    shape: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(self.family, DISTRIBUTION_FAMILIES, "distribution family")
+        _positive(self.mean, "failure-law mean")
+        _non_negative(self.shape, "failure-law shape")
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation."""
+        return {"priority": self.priority, "family": self.family,
+                "mean": self.mean, "shape": self.shape}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> FailureLawSpec:
+        """Exact inverse of :meth:`to_dict`."""
+        return cls(**_pick(cls, data, {
+            "priority": _int, "family": _str, "mean": _float, "shape": _float,
+        }))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Where the tasks come from and how they are shaped.
+
+    ``source`` selects one of three materializations:
+
+    * ``"synthetic"`` — law-driven task batches (te/mem lognormals,
+      priorities cycling over :attr:`FailureSpec.laws`), the verify
+      scenarios' default;
+    * ``"google"`` — a synthesized Google-like trace with per-task
+      frailty ground truth (``trace_jobs``/``trace_arrival``);
+    * ``"history"`` — the shared historical evaluation trace
+      (``n_jobs``/``trace_seed``/``only_failed_jobs``), the replay
+      tier's input.
+    """
+
+    source: str = "synthetic"
+    # -- synthetic task shape ------------------------------------------
+    n_tasks: int = 64
+    te_mode: str = "lognormal"
+    te_mean: float = 300.0
+    te_sigma: float = 0.6
+    te_min: float = 30.0
+    te_max: float = 20000.0
+    mem_mean: float = 60.0
+    mem_sigma: float = 0.5
+    mem_min: float = 10.0
+    mem_max: float = 800.0
+    arrival: str = "batch"
+    arrival_rate: float = 0.5
+    burst_size: int = 8
+    # -- google-like synthesized trace ---------------------------------
+    trace_jobs: int = 30
+    trace_arrival: str = "poisson"
+    trace_burst_size: int = 8
+    # -- historical evaluation trace -----------------------------------
+    n_jobs: int = 4000
+    trace_seed: int = 2013
+    only_failed_jobs: bool = True
+
+    def __post_init__(self) -> None:
+        _require(self.source, WORKLOAD_SOURCES, "workload source")
+        _require(self.te_mode, TE_MODES, "te_mode")
+        _require(self.arrival, ARRIVAL_MODES, "arrival mode")
+        _require(self.trace_arrival, TRACE_ARRIVALS, "trace arrival pattern")
+        for what, value in (("n_tasks", self.n_tasks),
+                            ("trace_jobs", self.trace_jobs),
+                            ("trace_burst_size", self.trace_burst_size),
+                            ("n_jobs", self.n_jobs),
+                            ("burst_size", self.burst_size)):
+            if value < 1:
+                raise SpecError(f"{what} must be >= 1, got {value}")
+        _positive(self.te_mean, "te_mean")
+        _positive(self.te_max, "te_max")
+        _non_negative(self.te_sigma, "te_sigma")
+        _non_negative(self.te_min, "te_min")
+        _positive(self.mem_mean, "mem_mean")
+        _positive(self.mem_max, "mem_max")
+        _non_negative(self.mem_sigma, "mem_sigma")
+        _non_negative(self.mem_min, "mem_min")
+        _positive(self.arrival_rate, "arrival_rate")
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation."""
+        return {f.name: _plain(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> WorkloadSpec:
+        """Exact inverse of :meth:`to_dict` (missing keys -> defaults)."""
+        return cls(**_pick(cls, data, {
+            "source": _str,
+            "n_tasks": _int, "te_mode": _str, "te_mean": _float,
+            "te_sigma": _float, "te_min": _float, "te_max": _float,
+            "mem_mean": _float, "mem_sigma": _float, "mem_min": _float,
+            "mem_max": _float, "arrival": _str, "arrival_rate": _float,
+            "burst_size": _int,
+            "trace_jobs": _int, "trace_arrival": _str,
+            "trace_burst_size": _int,
+            "n_jobs": _int, "trace_seed": _int, "only_failed_jobs": _bool,
+        }))
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """Failure physics: interval laws, replay-tier source, host crashes."""
+
+    #: per-priority interval laws (synthetic workloads cycle over them)
+    laws: tuple[FailureLawSpec, ...] = ()
+    #: replay-tier failure source: replay historical intervals or
+    #: redraw fresh ones from the frailty ground truth
+    mode: str = "replay"
+    #: host-crash MTBF in seconds (``None`` disables host crashes)
+    host_mtbf: float | None = None
+    host_repair_time: float = 60.0
+
+    def __post_init__(self) -> None:
+        _require(self.mode, FAILURE_MODES, "failure mode")
+        if self.host_mtbf is not None:
+            _positive(self.host_mtbf, "host_mtbf")
+        _non_negative(self.host_repair_time, "host_repair_time")
+        priorities = [law.priority for law in self.laws]
+        if len(set(priorities)) != len(priorities):
+            raise SpecError(
+                f"duplicate priorities in failure laws: {priorities}"
+            )
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation."""
+        return {
+            "laws": [law.to_dict() for law in self.laws],
+            "mode": self.mode,
+            "host_mtbf": self.host_mtbf,
+            "host_repair_time": self.host_repair_time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> FailureSpec:
+        """Exact inverse of :meth:`to_dict` (missing keys -> defaults)."""
+        _check_keys(cls, data)
+        kwargs = _pick(cls, {k: v for k, v in data.items() if k != "laws"}, {
+            "mode": _str, "host_mtbf": _float, "host_repair_time": _float,
+        })
+        if "laws" in data:
+            kwargs["laws"] = tuple(
+                FailureLawSpec.from_dict(law) for law in data["laws"]
+            )
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """Checkpoint storage backend.
+
+    ``local`` (per-host ramdisk), ``nfs`` (one shared server),
+    ``dmnfs`` (one server per host), ``shared`` (the replay tier's
+    fixed shared backend), or ``auto`` (the paper's §4.2.2 per-task
+    selector).  The scenario tiers accept ``local/nfs/dmnfs/auto`` and
+    the replay tier ``local/shared/auto`` — :class:`RunSpec` rejects
+    the other combinations so that no two distinct specs alias onto
+    the same computation.
+    """
+
+    mode: str = "local"
+
+    def __post_init__(self) -> None:
+        _require(self.mode, STORAGE_MODES, "storage mode")
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation."""
+        return {"mode": self.mode}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> StorageSpec:
+        """Exact inverse of :meth:`to_dict` (missing keys -> defaults)."""
+        return cls(**_pick(cls, data, {"mode": _str}))
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Checkpoint policy plus how its believed inputs are estimated."""
+
+    name: str = "optimal"
+    #: interval seconds for ``fixed-interval``, count for ``fixed-count``
+    param: float = 0.0
+    #: MNOF/MTBF estimation on the replay tier: per-task history
+    #: (``oracle``) or per-priority group mining (``priority``)
+    estimation: str = "oracle"
+    #: cap the priority-group estimation to tasks at most this long
+    #: (the paper's RL-capped setting); ``None`` = no cap
+    length_cap: float | None = None
+
+    def __post_init__(self) -> None:
+        _require(self.name, POLICY_NAMES, "policy")
+        _require(self.estimation, ESTIMATION_MODES, "estimation mode")
+        _non_negative(self.param, "policy param")
+        if self.name == "fixed-interval" and not self.param > 0:
+            raise SpecError(
+                "policy 'fixed-interval' needs param > 0 "
+                "(the interval length in seconds)"
+            )
+        if self.name == "fixed-count" and int(self.param) < 1:
+            raise SpecError(
+                "policy 'fixed-count' needs param >= 1 (the interval count)"
+            )
+        if self.length_cap is not None:
+            _positive(self.length_cap, "length_cap")
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation."""
+        return {"name": self.name, "param": self.param,
+                "estimation": self.estimation, "length_cap": self.length_cap}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> PolicySpec:
+        """Exact inverse of :meth:`to_dict` (missing keys -> defaults)."""
+        return cls(**_pick(cls, data, {
+            "name": _str, "param": _float, "estimation": _str,
+            "length_cap": _float,
+        }))
+
+
+@dataclass(frozen=True)
+class ExecutionSpec:
+    """How (and how strictly) the spec executes.
+
+    ``tier`` picks the engine: the scalar reference loop, the
+    vector/blocked Monte-Carlo batch, the discrete-event cluster
+    simulation, or the trace-driven ``replay`` evaluation pipeline.
+    ``workers > 1`` fans the vector and replay tiers out through
+    :mod:`repro.parallel`; results are bit-identical for every worker
+    count, so ``workers`` is excluded from :meth:`RunSpec.spec_digest`.
+    """
+
+    tier: str = "scalar"
+    base_seed: int = 0
+    workers: int = 1
+    restart_delay: float = 0.0
+    # -- cluster topology (DES tier) -----------------------------------
+    n_hosts: int = 8
+    vms_per_host: int = 7
+    vms_per_host_pattern: tuple[int, ...] | None = None
+    failure_detection_delay: float = 1.0
+    placement_overhead: float = 0.5
+    # -- differential-verification strictness --------------------------
+    compare: str = "exact"
+    loose_lo: float = 0.8
+    loose_hi: float = 3.0
+    #: member of the fast smoke subset (``repro verify --quick``)
+    quick: bool = False
+
+    def __post_init__(self) -> None:
+        _require(self.tier, TIERS, "execution tier")
+        _require(self.compare, COMPARE_MODES, "compare mode")
+        if self.workers < 1:
+            raise SpecError(f"workers must be >= 1, got {self.workers}")
+        if self.n_hosts < 1 or self.vms_per_host < 1:
+            raise SpecError(
+                f"n_hosts and vms_per_host must be >= 1, got "
+                f"{self.n_hosts}/{self.vms_per_host}"
+            )
+        if self.vms_per_host_pattern is not None:
+            if not self.vms_per_host_pattern:
+                raise SpecError("vms_per_host_pattern must not be empty")
+            if any(v < 1 for v in self.vms_per_host_pattern):
+                raise SpecError(
+                    f"vms_per_host_pattern entries must be >= 1, got "
+                    f"{self.vms_per_host_pattern}"
+                )
+        _non_negative(self.restart_delay, "restart_delay")
+        _non_negative(self.failure_detection_delay, "failure_detection_delay")
+        _non_negative(self.placement_overhead, "placement_overhead")
+        if not 0 < self.loose_lo < self.loose_hi:
+            raise SpecError(
+                f"need 0 < loose_lo < loose_hi, got "
+                f"{self.loose_lo}/{self.loose_hi}"
+            )
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation."""
+        return {f.name: _plain(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> ExecutionSpec:
+        """Exact inverse of :meth:`to_dict` (missing keys -> defaults)."""
+        return cls(**_pick(cls, data, {
+            "tier": _str, "base_seed": _int, "workers": _int,
+            "restart_delay": _float,
+            "n_hosts": _int, "vms_per_host": _int,
+            "vms_per_host_pattern": _int_tuple,
+            "failure_detection_delay": _float, "placement_overhead": _float,
+            "compare": _str, "loose_lo": _float, "loose_hi": _float,
+            "quick": _bool,
+        }))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """The complete declarative description of one run.
+
+    A ``RunSpec`` is a pure value: two equal specs always produce
+    bit-identical results on the same tier, and
+    :meth:`spec_digest` is the canonical content address experiments
+    and sweep reports record alongside result digests.
+    """
+
+    name: str = "adhoc"
+    description: str = ""
+    tags: tuple[str, ...] = ()
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    failures: FailureSpec = field(default_factory=FailureSpec)
+    storage: StorageSpec = field(default_factory=StorageSpec)
+    policy: PolicySpec = field(default_factory=PolicySpec)
+    execution: ExecutionSpec = field(default_factory=ExecutionSpec)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("spec name must not be empty")
+        tier = self.execution.tier
+        source = self.workload.source
+        if tier == "replay" and source != "history":
+            raise SpecError(
+                f"{self.name}: the replay tier evaluates the historical "
+                f"trace; set workload.source='history' (got {source!r})"
+            )
+        if tier != "replay" and source == "history":
+            raise SpecError(
+                f"{self.name}: workload.source='history' runs on the "
+                f"replay tier only (got tier {tier!r})"
+            )
+        if source == "synthetic" and not self.failures.laws:
+            raise SpecError(
+                f"{self.name}: synthetic workloads need at least one "
+                "failure law"
+            )
+        # Each tier accepts only the storage modes it actually
+        # distinguishes: the replay tier prices one fixed shared
+        # backend ("shared"), the scenario tiers model nfs and dmnfs
+        # separately — letting the other vocabulary through would give
+        # two spec digests to one computation.
+        mode = self.storage.mode
+        if tier == "replay" and mode in ("nfs", "dmnfs"):
+            raise SpecError(
+                f"{self.name}: the replay tier prices one fixed shared "
+                f"backend; use storage.mode='shared' (got {mode!r})"
+            )
+        if tier != "replay" and mode == "shared":
+            raise SpecError(
+                f"{self.name}: the {tier!r} tier distinguishes shared "
+                "backends; use storage.mode='nfs' or 'dmnfs'"
+            )
+        # Reject replay-only knobs on the scenario tiers instead of
+        # silently dropping them during lowering: a spec that claims a
+        # different experiment must not run the same computation.
+        # (Default-valued fields a tier happens not to read — e.g.
+        # synthetic shape knobs on a 'google' workload — are not
+        # detectable this way; keep off-tier fields at their defaults.)
+        if tier != "replay":
+            if self.execution.restart_delay != 0.0:
+                raise SpecError(
+                    f"{self.name}: execution.restart_delay only applies "
+                    f"to the replay tier (the {tier!r} tier charges "
+                    "delays through the cluster config)"
+                )
+            if self.policy.length_cap is not None:
+                raise SpecError(
+                    f"{self.name}: policy.length_cap only applies to the "
+                    "replay tier's estimation"
+                )
+            if self.policy.estimation != "oracle":
+                raise SpecError(
+                    f"{self.name}: policy.estimation only applies to the "
+                    f"replay tier (the {tier!r} tier derives MNOF/MTBF "
+                    "from the failure laws)"
+                )
+            if self.failures.mode != "replay":
+                raise SpecError(
+                    f"{self.name}: failures.mode only applies to the "
+                    f"replay tier (the {tier!r} tier always draws from "
+                    "its laws)"
+                )
+        else:
+            if self.failures.laws:
+                raise SpecError(
+                    f"{self.name}: the replay tier takes failures from "
+                    "the historical trace; failures.laws must be empty"
+                )
+            if self.failures.host_mtbf is not None:
+                raise SpecError(
+                    f"{self.name}: host crashes are DES-tier physics; "
+                    "unset failures.host_mtbf on the replay tier"
+                )
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (includes ``spec_version``)."""
+        return {
+            "spec_version": SPEC_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "tags": list(self.tags),
+            "workload": self.workload.to_dict(),
+            "failures": self.failures.to_dict(),
+            "storage": self.storage.to_dict(),
+            "policy": self.policy.to_dict(),
+            "execution": self.execution.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> RunSpec:
+        """Exact inverse of :meth:`to_dict` (missing keys -> defaults)."""
+        data = dict(data)
+        version = data.pop("spec_version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise SpecError(
+                f"unsupported spec_version {version!r} "
+                f"(this build reads version {SPEC_VERSION})"
+            )
+        _check_keys(cls, data)
+        kwargs: dict[str, Any] = {}
+        for key, conv in (("name", _str), ("description", _str),
+                          ("tags", _str_tuple)):
+            if key in data:
+                kwargs[key] = conv(data[key])
+        for key, child in (("workload", WorkloadSpec),
+                           ("failures", FailureSpec),
+                           ("storage", StorageSpec),
+                           ("policy", PolicySpec),
+                           ("execution", ExecutionSpec)):
+            if key in data:
+                if not isinstance(data[key], dict):
+                    raise SpecError(
+                        f"{key} must be a table/object, got {data[key]!r}"
+                    )
+                kwargs[key] = child.from_dict(data[key])
+        return cls(**kwargs)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON text (stable field order, trailing newline)."""
+        return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> RunSpec:
+        """Parse a spec from JSON text."""
+        return cls.from_dict(json.loads(text))
+
+    def to_toml(self) -> str:
+        """TOML text readable by :func:`tomllib.loads`.
+
+        ``None``-valued keys are omitted (TOML has no null);
+        :meth:`from_dict` restores them as defaults, so the round trip
+        is still exact.
+        """
+        d = self.to_dict()
+        lines = [f"spec_version = {d['spec_version']}"]
+        for key in ("name", "description", "tags"):
+            lines.append(f"{key} = {_toml_value(d[key])}")
+        for section in ("workload", "failures", "storage", "policy",
+                        "execution"):
+            lines.append("")
+            lines.append(f"[{section}]")
+            for key, value in d[section].items():
+                if value is None:
+                    continue
+                lines.append(f"{key} = {_toml_value(value)}")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_toml(cls, text: str) -> RunSpec:
+        """Parse a spec from TOML text (needs Python >= 3.11)."""
+        if tomllib is None:
+            raise SpecError(
+                "reading TOML specs needs the stdlib tomllib (Python "
+                ">= 3.11); use JSON specs on this interpreter"
+            )
+        return cls.from_dict(tomllib.loads(text))
+
+    def save(self, path: str | Path) -> Path:
+        """Write the spec to ``path`` (TOML for ``.toml``, else JSON)."""
+        path = Path(path)
+        text = self.to_toml() if path.suffix == ".toml" else self.to_json()
+        path.write_text(text)
+        return path
+
+    # -- identity ------------------------------------------------------
+    def canonical_json(self) -> str:
+        """Sorted-key minimal JSON of the digest-relevant fields.
+
+        Excluded from the canonical form: ``execution.workers`` (a
+        scheduling knob — results are bit-identical for every worker
+        count), ``description`` and ``tags`` (prose/labels), and
+        ``execution.quick`` (a smoke-subset marker).  Everything else
+        either changes what runs or how strictly it is verified
+        (``compare``/``loose_*`` are part of a scenario's identity).
+        """
+        payload = self.to_dict()
+        del payload["description"], payload["tags"]
+        payload["execution"] = {
+            k: v for k, v in payload["execution"].items()
+            if k not in ("workers", "quick")
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                          allow_nan=False)
+
+    def spec_digest(self) -> str:
+        """SHA-256 over :meth:`canonical_json` — the spec's identity.
+
+        Stable across processes, platforms, and worker counts; two
+        specs with equal digests describe the same experiment.
+        """
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    # -- evolution -----------------------------------------------------
+    def evolve(self, **overrides) -> RunSpec:
+        """A new validated spec with dotted-path overrides applied.
+
+        Keys address fields through the tree, e.g.
+        ``spec.evolve(**{"policy.name": "young",
+        "execution.workers": 4})``; plain keys address the top level.
+        Values must be plain JSON types (the override is applied to the
+        serialized form and re-validated through :meth:`from_dict`).
+        """
+        data = self.to_dict()
+        for key, value in overrides.items():
+            node = data
+            parts = key.split(".")
+            for part in parts[:-1]:
+                child = node.get(part)
+                if not isinstance(child, dict):
+                    raise SpecError(f"unknown spec path {key!r}")
+                node = child
+            if parts[-1] not in node:
+                raise SpecError(
+                    f"unknown spec field {key!r}; valid here: "
+                    f"{', '.join(sorted(node))}"
+                )
+            node[parts[-1]] = _plain(value)
+        return RunSpec.from_dict(data)
+
+
+def _toml_string(text: str) -> str:
+    """Escape ``text`` as a TOML basic string.
+
+    Unlike JSON escaping, TOML forbids surrogate-pair ``\\uXXXX``
+    escapes (astral characters are written raw — TOML documents are
+    UTF-8) and bans raw control characters including DEL.
+    """
+    out = ['"']
+    for ch in text:
+        code = ord(ch)
+        if ch == '"':
+            out.append('\\"')
+        elif ch == "\\":
+            out.append("\\\\")
+        elif code < 0x20 or code == 0x7F:
+            out.append(f"\\u{code:04X}")
+        else:
+            out.append(ch)
+    out.append('"')
+    return "".join(out)
+
+
+def _toml_value(value) -> str:
+    """Render one plain-JSON value as a TOML literal."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return _toml_string(value)
+    if isinstance(value, int):
+        return repr(value)
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise SpecError(f"non-finite float in spec: {value!r}")
+        text = repr(value)
+        return text if ("." in text or "e" in text or "E" in text) \
+            else text + ".0"
+    if isinstance(value, list):
+        if value and isinstance(value[0], dict):
+            inner = ", ".join(
+                "{ " + ", ".join(f"{k} = {_toml_value(v)}"
+                                 for k, v in item.items()) + " }"
+                for item in value
+            )
+        else:
+            inner = ", ".join(_toml_value(v) for v in value)
+        return f"[{inner}]"
+    raise SpecError(f"cannot serialize {value!r} to TOML")
+
+
+def load_spec(path: str | Path) -> RunSpec:
+    """Load a :class:`RunSpec` from a ``.json`` or ``.toml`` file."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SpecError(f"cannot read spec file {path}: {exc}") from None
+    try:
+        if path.suffix == ".toml":
+            return RunSpec.from_toml(text)
+        return RunSpec.from_json(text)
+    except SpecError:
+        raise
+    except ValueError as exc:  # JSONDecodeError / TOMLDecodeError
+        raise SpecError(f"cannot parse spec file {path}: {exc}") from None

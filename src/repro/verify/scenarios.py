@@ -3,7 +3,12 @@
 A :class:`Scenario` is a frozen declarative spec: which failure laws
 drive which priorities, how task lengths/memory are drawn, which
 checkpoint policy and storage backend apply, how jobs arrive, and how
-strictly the execution tiers must agree (``compare`` mode).  The
+strictly the execution tiers must agree (``compare`` mode).  Since the
+RunSpec redesign the registry doubles as a named-spec catalog: every
+scenario lowers exactly to a :class:`repro.spec.RunSpec`
+(:meth:`Scenario.to_spec`) and back, so ``repro run --scenario NAME``
+and :func:`repro.api.run` execute registered scenarios while
+reproducing their golden scalar digests bit-for-bit.  The
 builder (:func:`build_workload`) turns a spec into a fully materialized
 :class:`Workload` — per-task parameter arrays for the scalar and
 vectorized tiers plus a :class:`~repro.trace.models.Trace` and
@@ -55,6 +60,7 @@ from repro.failures.distributions import (
     Pareto,
     Weibull,
 )
+from repro.spec import DISTRIBUTION_FAMILIES, POLICY_NAMES, SpecError
 from repro.storage.blcr import BLCRModel, MigrationType
 from repro.trace.models import Job, JobType, Task, Trace
 from repro.trace.synthesizer import TraceConfig, synthesize_trace
@@ -90,9 +96,14 @@ class FailureLaw:
 
 
 def make_distribution(family: str, mean: float, shape: float = 0.0) -> Distribution:
-    """Construct a named interval law with expected value ``mean``."""
+    """Construct a named interval law with expected value ``mean``.
+
+    ``family`` must be one of
+    :data:`repro.spec.DISTRIBUTION_FAMILIES`; anything else raises
+    :class:`~repro.spec.SpecError` listing the valid names.
+    """
     if mean <= 0:
-        raise ValueError(f"mean must be positive, got {mean}")
+        raise SpecError(f"mean must be positive, got {mean}")
     if family == "exponential":
         return Exponential(1.0 / mean)
     if family == "weibull":
@@ -111,11 +122,18 @@ def make_distribution(family: str, mean: float, shape: float = 0.0) -> Distribut
             [Exponential(1.0 / mean), Pareto(xm=3.0 * mean, alpha=1.15)],
             [0.75, 0.25],
         )
-    raise ValueError(f"unknown distribution family {family!r}")
+    raise SpecError(
+        f"unknown distribution family {family!r}; "
+        f"valid: {', '.join(DISTRIBUTION_FAMILIES)}"
+    )
 
 
 def make_policy(policy: str, param: float = 0.0) -> CheckpointPolicy:
-    """Construct the checkpoint policy named by a scenario spec."""
+    """Construct the checkpoint policy named by a spec or scenario.
+
+    ``policy`` must be one of :data:`repro.spec.POLICY_NAMES`; anything
+    else raises :class:`~repro.spec.SpecError` listing the valid names.
+    """
     if policy == "optimal":
         return OptimalCountPolicy()
     if policy == "young":
@@ -128,7 +146,9 @@ def make_policy(policy: str, param: float = 0.0) -> CheckpointPolicy:
         return FixedCountPolicy(int(param))
     if policy == "none":
         return NoCheckpointPolicy()
-    raise ValueError(f"unknown policy {policy!r}")
+    raise SpecError(
+        f"unknown policy {policy!r}; valid: {', '.join(POLICY_NAMES)}"
+    )
 
 
 @dataclass(frozen=True)
@@ -198,6 +218,19 @@ class Scenario:
     def seed_for(self, base_seed: int) -> int:
         """Stable scenario seed mixed from the run's base seed."""
         return zlib.crc32(f"{base_seed}:{self.name}".encode()) & 0x7FFFFFFF
+
+    def to_spec(self, *, base_seed: int = 0, tier: str = "scalar",
+                workers: int = 1):
+        """Lower this scenario to a :class:`repro.spec.RunSpec`.
+
+        The registry is thereby a named-spec catalog: any registered
+        scenario can run through :func:`repro.api.run`, reproducing
+        the golden scalar digest bit-for-bit.
+        """
+        from repro.api import scenario_to_spec
+
+        return scenario_to_spec(self, base_seed=base_seed, tier=tier,
+                                workers=workers)
 
 
 @dataclass

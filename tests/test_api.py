@@ -1,0 +1,273 @@
+"""The ``repro.api.run`` facade and its retrofits.
+
+The acceptance contract of the RunSpec redesign:
+
+* every registered verify scenario lowers to a ``RunSpec`` that
+  round-trips back to an equal ``Scenario`` and reproduces the golden
+  scalar digest bit-for-bit through ``repro.api.run``;
+* the vector and replay tiers stay worker-count invariant when driven
+  through specs;
+* sweep grids lower to specs without changing a single digest, and
+  spec-override grids (``expand_grid``/``run_specs``) inherit the
+  determinism contract;
+* the legacy ``evaluate_policy(trace, policy, **kwargs)`` shim warns
+  exactly once and matches the spec path bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.core.policies import OptimalCountPolicy
+from repro.experiments.common import (
+    clear_trace_cache,
+    default_trace,
+    evaluate_policy,
+    policy_run_spec,
+    trace_cache_stats,
+)
+import repro.spec as spec_mod
+from repro.spec import RunSpec, SpecError
+from repro.verify.golden import load_golden
+from repro.verify.runner import run_scenario
+from repro.verify.scenarios import SCENARIOS, get_scenario, list_scenarios
+
+QUICK = [s.name for s in list_scenarios(quick_only=True)]
+
+
+class TestScenarioLowering:
+    def test_round_trip_every_registered_scenario(self):
+        # Lowering is exact: spec -> scenario inverts field-for-field.
+        for scenario in list_scenarios():
+            spec = scenario.to_spec()
+            assert api.spec_to_scenario(spec) == scenario, scenario.name
+
+    def test_all_scenarios_reproduce_golden_scalar_digests(self):
+        # The CI-gated acceptance criterion: all registered scenarios,
+        # lowered to RunSpec and re-run via the facade, reproduce the
+        # golden scalar digests bit-for-bit.
+        rows = api.verify_lowering()
+        assert len(rows) == len(SCENARIOS)
+        bad = [r["scenario"] for r in rows if not r["match"]]
+        assert not bad, f"lowered-spec digest mismatches: {bad}"
+
+    def test_lowered_spec_matches_legacy_runner(self):
+        scenario = get_scenario("exp-high-failure-rate")
+        legacy = run_scenario(scenario, base_seed=3)
+        spec = scenario.to_spec(base_seed=3)
+        assert api.run(spec).digest == legacy.tiers["scalar"].digest
+        vec = api.run(spec.evolve(**{"execution.tier": "vector"}))
+        assert vec.digest == legacy.tiers["vector"].digest
+
+    def test_scenario_spec_by_name(self):
+        spec = api.scenario_spec("exp-baseline-local", tier="vector")
+        assert spec.execution.tier == "vector"
+        with pytest.raises(KeyError, match="unknown scenario"):
+            api.scenario_spec("does-not-exist")
+
+
+class TestRunFacade:
+    def test_vector_tier_worker_invariant(self):
+        spec = api.scenario_spec("short-tasks", tier="vector")
+        one = api.run(spec.evolve(**{"execution.workers": 1}))
+        two = api.run(spec.evolve(**{"execution.workers": 2}))
+        assert one.digest == two.digest
+        assert one.summary == two.summary
+
+    def test_des_tier_runs(self):
+        res = api.run(api.scenario_spec("policy-no-checkpoint", tier="des"))
+        assert res.tier == "des"
+        assert res.extra["n_events"] > 0
+        assert res.digest is not None
+
+    def test_replay_tier_matches_evaluate_policy(self):
+        spec = policy_run_spec("optimal", n_jobs=100, trace_seed=5,
+                               estimation="oracle")
+        res = api.run(spec)
+        direct = evaluate_policy(spec)
+        assert res.digest == direct.sim.digest()
+        assert res.extra["mean_job_wpr"] == direct.mean_wpr()
+        assert res.extra["n_jobs_sampled"] == float(direct.job_wpr.size)
+
+    def test_replay_tier_worker_invariant(self):
+        spec = policy_run_spec("young", n_jobs=100, trace_seed=5,
+                               failure_mode="redraw")
+        one = api.run(spec.evolve(**{"execution.workers": 1}))
+        two = api.run(spec.evolve(**{"execution.workers": 2}))
+        assert one.digest == two.digest
+
+    def test_trace_override_rejected_off_replay_tier(self):
+        spec = api.scenario_spec("exp-baseline-local")
+        with pytest.raises(SpecError, match="replay"):
+            api.run(spec, trace=default_trace(50, 5))
+
+    def test_result_report_is_json_ready(self):
+        res = api.run(api.scenario_spec("short-tasks"))
+        payload = json.loads(json.dumps(res.to_dict()))
+        assert payload["name"] == "short-tasks"
+        assert payload["spec_digest"] == res.spec.spec_digest()
+        assert RunSpec.from_dict(payload["spec"]) == res.spec
+
+
+class TestDeprecationShim:
+    def test_legacy_kwargs_warn_once_and_match_spec_path(self):
+        # The satellite contract: exactly one DeprecationWarning per
+        # legacy call, results bit-identical to the spec path.
+        spec = policy_run_spec("optimal", n_jobs=90, trace_seed=11,
+                               estimation="priority")
+        via_spec = evaluate_policy(spec)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = evaluate_policy(
+                default_trace(90, 11), OptimalCountPolicy(),
+                estimation="priority",
+            )
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)
+                        and "evaluate_policy" in str(w.message)]
+        assert len(deprecations) == 1
+        assert legacy.sim.digest() == via_spec.sim.digest()
+        np.testing.assert_array_equal(legacy.job_wpr, via_spec.job_wpr)
+
+    def test_spec_path_does_not_warn(self):
+        spec = policy_run_spec("optimal", n_jobs=90, trace_seed=11)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            evaluate_policy(spec)
+        assert not [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)
+                    and "evaluate_policy" in str(w.message)]
+
+    def test_legacy_keyword_form_still_works(self):
+        # evaluate_policy(trace=..., policy=...) predates the spec
+        # rename of the first parameter and must keep working.
+        spec = policy_run_spec("optimal", n_jobs=90, trace_seed=11,
+                               estimation="priority")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = evaluate_policy(
+                trace=default_trace(90, 11), policy=OptimalCountPolicy(),
+                estimation="priority",
+            )
+        assert len([w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]) == 1
+        assert legacy.sim.digest() == evaluate_policy(spec).sim.digest()
+
+    def test_spec_plus_policy_rejected(self):
+        spec = policy_run_spec("optimal", n_jobs=50, trace_seed=5)
+        with pytest.raises(TypeError, match="drop the positional"):
+            evaluate_policy(spec, OptimalCountPolicy())
+
+    def test_spec_plus_engine_kwargs_rejected(self):
+        # Half-migrated calls must fail loudly, not silently drop the
+        # kwargs and run a different experiment.
+        spec = policy_run_spec("optimal", n_jobs=50, trace_seed=5)
+        with pytest.raises(TypeError, match="storage"):
+            evaluate_policy(spec, storage="shared")
+        with pytest.raises(TypeError, match="estimation"):
+            evaluate_policy(spec, estimation="oracle")
+        with pytest.raises(TypeError, match="workers"):
+            evaluate_policy(spec, workers=2)
+
+    def test_legacy_trace_override_rejected(self):
+        with pytest.raises(TypeError, match="RunSpec"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                evaluate_policy(default_trace(50, 5),
+                                OptimalCountPolicy(),
+                                trace=default_trace(50, 5))
+
+    def test_wrong_tier_spec_rejected(self):
+        spec = api.scenario_spec("exp-baseline-local")
+        with pytest.raises(SpecError, match="replay"):
+            evaluate_policy(spec)
+
+
+class TestTraceCache:
+    def test_stats_and_clear(self):
+        clear_trace_cache()
+        stats = trace_cache_stats()
+        assert stats["currsize"] == 0
+        default_trace(60, seed=21)
+        default_trace(60, seed=21)
+        stats = trace_cache_stats()
+        assert stats["currsize"] == 1
+        assert stats["hits"] >= 1
+        assert stats["misses"] >= 1
+        assert stats["maxsize"] == 8
+        clear_trace_cache()
+        assert trace_cache_stats()["currsize"] == 0
+
+    def test_clear_keeps_handed_out_traces_valid(self):
+        trace = default_trace(60, seed=21)
+        n = len(trace)
+        clear_trace_cache()
+        assert len(trace) == n and trace.n_tasks > 0
+
+
+class TestRunCli:
+    def test_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "run.json"
+        api.scenario_spec("short-tasks").save(path)
+        assert api.main(["--spec", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "short-tasks [scalar]" in out
+        assert load_golden("short-tasks")["scalar"]["digest"] in out
+
+    def test_scenario_with_overrides_and_report(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        rc = api.main([
+            "--scenario", "short-tasks",
+            "--set", "execution.tier=vector",
+            "--set", "execution.workers=2",
+            "--out", str(out_path),
+        ])
+        assert rc == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["tier"] == "vector"
+        spec = RunSpec.from_dict(payload["spec"])
+        assert spec.execution.workers == 2
+        # bit-identical to the serial facade run
+        serial = api.run(spec.evolve(**{"execution.workers": 1}))
+        assert payload["digest"] == serial.digest
+
+    def test_print_spec(self, capsys):
+        rc = api.main(["--scenario", "exp-baseline-local", "--print-spec"])
+        assert rc == 0
+        spec = RunSpec.from_json(capsys.readouterr().out)
+        assert spec == api.scenario_spec("exp-baseline-local")
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert api.main(["--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bad_override_exits_2(self, capsys):
+        rc = api.main(["--scenario", "short-tasks",
+                       "--set", "policy.name=zigzag"])
+        assert rc == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_missing_source_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            api.main([])
+
+    @pytest.mark.skipif(spec_mod.tomllib is None,
+                        reason="tomllib needs Python >= 3.11")
+    def test_toml_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "run.toml"
+        api.scenario_spec("short-tasks").save(path)
+        assert api.main(["--spec", str(path)]) == 0
+        assert "short-tasks" in capsys.readouterr().out
+
+    def test_check_lowering_quick_subset_via_dispatch(self, capsys):
+        # Exercise the top-level CLI dispatch (`repro run ...`).
+        from repro.cli import main as cli_main
+
+        rc = cli_main(["run", "--scenario", QUICK[0]])
+        assert rc == 0
+        assert QUICK[0] in capsys.readouterr().out

@@ -208,12 +208,13 @@ class TestDefaultTraceCachePoisoning:
         from repro.experiments.common import default_trace, evaluate_policy
         from repro.core.policies import OptimalCountPolicy
 
-        first = evaluate_policy(default_trace(80, seed=5),
-                                OptimalCountPolicy()).mean_wpr()
+        from repro.experiments.common import policy_run_spec
+
+        spec = policy_run_spec("optimal", n_jobs=80, trace_seed=5)
+        first = evaluate_policy(spec).mean_wpr()
         poisoned = default_trace(80, seed=5)
         object.__setattr__(poisoned, "jobs", poisoned.jobs[:1])
-        second = evaluate_policy(default_trace(80, seed=5),
-                                 OptimalCountPolicy()).mean_wpr()
+        second = evaluate_policy(spec).mean_wpr()
         assert first == second
 
 
@@ -222,9 +223,11 @@ class TestEvaluatePolicyParallelAndStorage:
         from repro.core.policies import OptimalCountPolicy
         from repro.experiments.common import default_trace, evaluate_policy
 
-        trace = default_trace(120, seed=9)
-        serial = evaluate_policy(trace, OptimalCountPolicy(), workers=1)
-        pooled = evaluate_policy(trace, OptimalCountPolicy(), workers=2)
+        from repro.experiments.common import policy_run_spec
+
+        spec = policy_run_spec("optimal", n_jobs=120, trace_seed=9)
+        serial = evaluate_policy(spec.evolve(**{"execution.workers": 1}))
+        pooled = evaluate_policy(spec.evolve(**{"execution.workers": 2}))
         assert serial.sim.digest() == pooled.sim.digest()
         np.testing.assert_array_equal(serial.job_wpr, pooled.job_wpr)
 
@@ -232,23 +235,26 @@ class TestEvaluatePolicyParallelAndStorage:
         from repro.core.policies import YoungPolicy
         from repro.experiments.common import default_trace, evaluate_policy
 
-        trace = default_trace(120, seed=9)
-        serial = evaluate_policy(trace, YoungPolicy(),
-                                 failure_mode="redraw", seed=3, workers=1)
-        pooled = evaluate_policy(trace, YoungPolicy(),
-                                 failure_mode="redraw", seed=3, workers=2)
+        from repro.experiments.common import policy_run_spec
+
+        spec = policy_run_spec("young", n_jobs=120, trace_seed=9,
+                               failure_mode="redraw", seed=3)
+        serial = evaluate_policy(spec.evolve(**{"execution.workers": 1}))
+        pooled = evaluate_policy(spec.evolve(**{"execution.workers": 2}))
         assert serial.sim.digest() == pooled.sim.digest()
 
     def test_storage_modes_price_checkpoints_differently(self):
         from repro.core.policies import OptimalCountPolicy
         from repro.experiments.common import default_trace, evaluate_policy
 
-        trace = default_trace(120, seed=9)
-        runs = {s: evaluate_policy(trace, OptimalCountPolicy(), storage=s)
+        from repro.experiments.common import policy_run_spec
+
+        runs = {s: evaluate_policy(policy_run_spec(
+                    "optimal", n_jobs=120, trace_seed=9, storage=s))
                 for s in ("auto", "local", "shared")}
         digests = {s: r.sim.digest() for s, r in runs.items()}
         assert digests["local"] != digests["shared"]
         for r in runs.values():
             assert 0 < r.mean_wpr() <= 1.0
         with pytest.raises(ValueError):
-            evaluate_policy(trace, OptimalCountPolicy(), storage="floppy")
+            policy_run_spec("optimal", storage="floppy")

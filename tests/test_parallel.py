@@ -261,3 +261,107 @@ class TestSweep:
         assert [p["digest"] for p in r1["points"]] == \
                [p["digest"] for p in r2["points"]]
         assert r1["points"][0]["summary"]["n_tasks"] > 0
+
+
+class TestSpecGrids:
+    """Sweep grids as lists of RunSpec overrides (the RunSpec redesign)."""
+
+    def _base(self):
+        from repro.experiments.common import policy_run_spec
+
+        return policy_run_spec("optimal", n_jobs=60, trace_seed=0,
+                               name="grid-base")
+
+    def test_sweep_point_lowers_to_equivalent_spec(self):
+        # The flag grid and the spec grid are the same computation:
+        # run_point (which lowers internally) and the raw facade agree.
+        from repro import api
+
+        point = SweepPoint(policy="young", storage="local", n_jobs=60,
+                           trace_seed=0)
+        cell = run_point(point)
+        res = api.run(point.to_spec())
+        assert cell["digest"] == res.digest
+        assert cell["spec_digest"] == point.to_spec().spec_digest()
+
+    def test_expand_grid_order_and_values(self):
+        from repro.parallel.sweep import expand_grid
+
+        specs = expand_grid(self._base(), [
+            ("policy.name", ["optimal", "young"]),
+            ("execution.base_seed", [0, 1]),
+        ])
+        combos = [(s.policy.name, s.execution.base_seed) for s in specs]
+        # first axis is the outer loop, matching build_grid's nesting
+        assert combos == [("optimal", 0), ("optimal", 1),
+                          ("young", 0), ("young", 1)]
+
+    def test_expand_grid_cross_constrained_axes_any_order(self):
+        # Overrides apply per cell in one evolve(), so an axis order
+        # that passes through an invalid intermediate still expands.
+        from repro.parallel.sweep import expand_grid
+
+        specs = expand_grid(self._base(), [
+            ("policy.name", ["fixed-interval"]),
+            ("policy.param", [60.0, 120.0]),
+        ])
+        assert [(s.policy.name, s.policy.param) for s in specs] == \
+               [("fixed-interval", 60.0), ("fixed-interval", 120.0)]
+
+    def test_expand_grid_rejects_bad_axis(self):
+        from repro.parallel.sweep import expand_grid
+        from repro.spec import SpecError
+
+        with pytest.raises(SpecError, match="no values"):
+            expand_grid(self._base(), [("policy.name", [])])
+        with pytest.raises(SpecError, match="unknown"):
+            expand_grid(self._base(), [("policy.colour", ["red"])])
+
+    def test_run_specs_worker_invariant(self):
+        from repro.parallel.sweep import expand_grid, run_specs
+
+        specs = expand_grid(self._base(), [
+            ("policy.name", ["optimal", "young"]),
+        ])
+        serial = run_specs(specs, workers=1)
+        pooled = run_specs(specs, workers=2)
+        assert [c["digest"] for c in serial["points"]] == \
+               [c["digest"] for c in pooled["points"]]
+
+    def test_run_specs_pins_cell_workers(self):
+        # A base spec asking for its own pool must not make daemonic
+        # grid workers spawn children: cells run with workers=1
+        # (digest-invariant), at any grid worker count.
+        from repro.parallel.sweep import run_specs
+
+        multi = self._base().evolve(**{"execution.workers": 4})
+        pooled = run_specs([multi, multi], workers=2)
+        serial = run_specs([self._base()], workers=1)
+        assert pooled["points"][0]["digest"] == serial["points"][0]["digest"]
+        for cell in pooled["points"]:
+            assert cell["spec"]["execution"]["workers"] == 1
+
+    def test_cli_spec_mode_reproduces_digests(self, tmp_path, capsys):
+        spec_path = tmp_path / "base.json"
+        self._base().save(spec_path)
+        out1, out2 = tmp_path / "g1.json", tmp_path / "g2.json"
+        base = ["sweep", "--spec", str(spec_path),
+                "--axis", "policy.name=optimal,young", "--quiet"]
+        assert cli_main(base + ["--workers", "1", "--out", str(out1)]) == 0
+        assert cli_main(base + ["--workers", "2", "--out", str(out2)]) == 0
+        r1 = json.loads(out1.read_text())
+        r2 = json.loads(out2.read_text())
+        assert r1["n_points"] == 2
+        assert [p["digest"] for p in r1["points"]] == \
+               [p["digest"] for p in r2["points"]]
+
+    def test_cli_axis_requires_spec(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["sweep", "--axis", "policy.name=young"])
+
+    def test_cli_spec_mode_bad_axis_exits_2(self, tmp_path, capsys):
+        spec_path = tmp_path / "base.json"
+        self._base().save(spec_path)
+        assert cli_main(["sweep", "--spec", str(spec_path),
+                         "--axis", "policy.name=zigzag"]) == 2
+        assert "unknown policy" in capsys.readouterr().err
