@@ -22,6 +22,7 @@ paper-vs-measured record of every reproduced table and figure.
 
 from repro._version import __version__
 from repro.spec import RunSpec, SpecError, load_spec
+from repro.store import ResultStore, RunRecord, StoreError
 from repro.core import (
     AdaptiveCheckpointer,
     CheckpointPolicy,
@@ -54,16 +55,21 @@ __all__ = [
     "FixedIntervalPolicy",
     "GroupedFailureEstimator",
     "MigrationType",
+    "CampaignSpec",
     "NoCheckpointPolicy",
     "OptimalCountPolicy",
+    "ResultStore",
+    "RunRecord",
     "RunSpec",
     "SpecError",
+    "StoreError",
     "TaskProfile",
     "TraceConfig",
     "YoungPolicy",
     "__version__",
     "expected_wallclock",
     "google_like_catalog",
+    "load_campaign",
     "load_spec",
     "optimal_interval_count",
     "optimal_interval_count_int",
@@ -78,9 +84,14 @@ __all__ = [
 
 def __getattr__(name: str):
     # ``repro.run`` / ``repro.RunResult`` load the facade lazily so the
-    # spec vocabulary stays importable without the execution tiers.
+    # spec vocabulary stays importable without the execution tiers;
+    # the campaign layer loads lazily for the same reason.
     if name in ("run", "RunResult"):
         from repro import api
 
         return getattr(api, name)
+    if name in ("CampaignSpec", "load_campaign"):
+        from repro import campaign
+
+        return getattr(campaign, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -18,11 +18,19 @@ subsystem's workload builder, so a spec lowered from a registered
 scenario reproduces that scenario's golden scalar digest bit-for-bit
 (:func:`verify_lowering` checks all of them; CI gates on it).
 
+Passing ``store=`` (a :class:`~repro.store.ResultStore` or a path)
+gives any caller content-addressed caching: a spec whose
+``spec_digest()`` already has a readable record returns it without
+executing, and every fresh execution persists its
+:class:`~repro.store.RunRecord` — the resumability primitive
+:mod:`repro.campaign` builds on.
+
 The module doubles as the ``repro run`` CLI::
 
     repro run --spec examples/specs/daly-shared.json
     repro run --scenario exp-baseline-local --set execution.tier=vector
     repro run --spec run.toml --set policy.name=young --out result.json
+    repro run --spec run.json --store results/   # skip-if-cached
     repro run --check-lowering        # all scenarios vs golden digests
 """
 
@@ -32,11 +40,13 @@ import argparse
 import json
 import sys
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
+from repro.store import ResultStore, RunRecord
 from repro.spec import (
     ExecutionSpec,
     FailureLawSpec,
@@ -226,6 +236,37 @@ class RunResult:
     sim: object | None = None
     tier_result: TierResult | None = None
     policy_run: object | None = None
+    #: served from a :class:`~repro.store.ResultStore` instead of
+    #: executing — scalar fields only, no per-task arrays
+    cached: bool = False
+
+    @classmethod
+    def from_record(cls, record: RunRecord) -> RunResult:
+        """Rehydrate a result from a stored record (``cached=True``).
+
+        The record carries every scalar field but no per-task arrays:
+        ``sim``/``tier_result``/``policy_run`` are ``None``.  Callers
+        that need arrays re-execute (``reuse=False`` on :func:`run`).
+        Record content is canonical w.r.t. the spec digest (see
+        :func:`repro.store.canonical_spec_dict`), so the rehydrated
+        ``spec`` has default workers/prose and ``extra`` omits the
+        live-run ``workers_effective`` marker.
+        """
+        if record.spec is None:
+            raise SpecError(
+                f"record {record.spec_digest[:12]}… has no spec snapshot; "
+                "cannot rehydrate a RunResult from it"
+            )
+        return cls(
+            spec=RunSpec.from_dict(record.spec),
+            tier=record.tier,
+            seed=record.seed,
+            digest=record.digest,
+            summary=dict(record.summary),
+            elapsed_s=record.elapsed_s,
+            extra=dict(record.extra),
+            cached=True,
+        )
 
     def to_dict(self) -> dict:
         """JSON-ready report fragment (spec + summaries, no arrays)."""
@@ -242,7 +283,36 @@ class RunResult:
         }
 
 
-def run(spec: RunSpec, *, trace=None, catalog=None) -> RunResult:
+#: process-wide latch for the DES-tier workers warning: the situation
+#: is a property of the build (DES sharding has not landed), so one
+#: warning per process documents it without drowning sweeps in noise.
+_DES_WORKERS_WARNED = False
+
+
+def _warn_des_workers(spec: RunSpec) -> None:
+    global _DES_WORKERS_WARNED
+    if _DES_WORKERS_WARNED:
+        return
+    _DES_WORKERS_WARNED = True
+    warnings.warn(
+        f"{spec.name}: execution.workers={spec.execution.workers} has no "
+        "effect on the 'des' tier — the discrete-event simulation runs a "
+        "single event loop until DES sharding lands (see ROADMAP.md); "
+        "continuing with workers_effective=1 (recorded in the result, "
+        "warned once per process)",
+        UserWarning,
+        stacklevel=3,
+    )
+
+
+def run(
+    spec: RunSpec,
+    *,
+    trace=None,
+    catalog=None,
+    store: "ResultStore | str | Path | None" = None,
+    reuse: bool = True,
+) -> RunResult:
     """Execute ``spec`` on the tier it names and return a :class:`RunResult`.
 
     A pure function of the spec: equal specs produce bit-identical
@@ -251,9 +321,47 @@ def run(spec: RunSpec, *, trace=None, catalog=None) -> RunResult:
     pre-filtered job samples) and ``catalog`` backs redraw mode when
     that override lacks frailty scales; both are rejected on the other
     tiers because their workloads are fully described by the spec.
+
+    ``store`` (a :class:`~repro.store.ResultStore` or a path) makes
+    the run content-addressed: with ``reuse=True`` (default) a cached
+    record for ``spec.spec_digest()`` is returned without executing
+    (``result.cached`` is set, per-task arrays absent); on a miss the
+    spec executes and its record is persisted.  ``reuse=False`` always
+    executes but still writes the record through — for callers that
+    need the arrays yet want to warm the store.  The overrides are
+    rejected together with ``store`` because they change the
+    computation without changing the digest.
+
+    ``execution.workers`` fans out the vector and replay tiers; the
+    scalar reference loop and the DES tier are single-stream, so they
+    record ``workers_effective=1`` in ``extra`` (the DES tier also
+    warns once per process when workers were requested).
     """
+    if store is not None:
+        if trace is not None or catalog is not None:
+            raise SpecError(
+                "store-backed runs must be fully described by the spec "
+                "(the trace/catalog overrides change the computation "
+                "without changing spec_digest); drop store= or the "
+                "overrides"
+            )
+        if not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        if reuse:
+            record = store.get(spec.spec_digest(), on_corrupt="miss")
+            if record is not None and record.spec is not None:
+                return RunResult.from_record(record)
+    result = _execute(spec, trace=trace, catalog=catalog)
+    if store is not None:
+        store.put(RunRecord.from_result(result))
+    return result
+
+
+def _execute(spec: RunSpec, *, trace=None, catalog=None) -> RunResult:
+    """The uncached execution path behind :func:`run`."""
     t0 = time.perf_counter()
     tier = spec.execution.tier
+    workers = spec.execution.workers
     if tier == "replay":
         from repro.experiments.common import evaluate_policy
 
@@ -271,6 +379,7 @@ def run(spec: RunSpec, *, trace=None, catalog=None) -> RunResult:
                 "mean_job_wpr": pr.mean_wpr(),
                 "lowest_job_wpr": pr.lowest_wpr(),
                 "mean_job_wall": float(np.mean(pr.job_wall)),
+                "workers_effective": float(workers),
             },
             sim=sim,
             policy_run=pr,
@@ -283,10 +392,17 @@ def run(spec: RunSpec, *, trace=None, catalog=None) -> RunResult:
                               spec.execution.base_seed)
     if tier == "scalar":
         tr = run_scalar(workload)
+        workers_effective = 1
     elif tier == "vector":
-        tr = run_vector(workload, workers=spec.execution.workers)
+        tr = run_vector(workload, workers=workers)
+        workers_effective = workers
     else:  # "des" — the spec validated tier membership already
+        if workers > 1:
+            _warn_des_workers(spec)
         tr = run_des(workload)
+        workers_effective = 1
+    extra = {k: float(v) for k, v in tr.extra.items()}
+    extra["workers_effective"] = float(workers_effective)
     return RunResult(
         spec=spec,
         tier=tier,
@@ -294,7 +410,7 @@ def run(spec: RunSpec, *, trace=None, catalog=None) -> RunResult:
         digest=tr.digest,
         summary=tr.summary,
         elapsed_s=time.perf_counter() - t0,
-        extra={k: float(v) for k, v in tr.extra.items()},
+        extra=extra,
         tier_result=tr,
     )
 
@@ -367,6 +483,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--print-spec", action="store_true",
                         help="print the resolved spec as JSON and exit "
                              "without running")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="content-addressed result store: return the "
+                             "cached record when the spec digest is already "
+                             "present, persist the RunRecord otherwise")
     parser.add_argument("--out", metavar="PATH", default=None,
                         help="write the JSON run report here")
     return parser
@@ -415,13 +535,14 @@ def main(argv: list[str] | None = None) -> int:
         if args.print_spec:
             print(spec.to_json(), end="")
             return 0
-        result = run(spec)
+        result = run(spec, store=args.store)
     except SpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     summary = result.summary
+    cached = " (cached)" if result.cached else ""
     print(f"{spec.name} [{result.tier}] seed={result.seed} "
-          f"spec={spec.spec_digest()[:12]}")
+          f"spec={spec.spec_digest()[:12]}{cached}")
     print(f"  n_tasks={summary['n_tasks']:.0f} "
           f"mean_wallclock={summary['mean_wallclock']:.3f} "
           f"mean_wpr={summary['mean_wpr']:.4f} "

@@ -9,6 +9,8 @@ Usage::
     repro sweep --workers 4           # parallel experiment-grid runner
     repro run --spec run.json         # execute one declarative RunSpec
     repro run --scenario exp-baseline-local --set execution.tier=vector
+    repro campaign run grid.toml      # resumable store-backed campaign
+    repro campaign status grid.toml
 
     repro-experiments fig9            # legacy alias, still supported
 
@@ -57,6 +59,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.api import main as run_main
 
         return run_main(args[1:])
+    if args and args[0] == "campaign":
+        from repro.campaign import main as campaign_main
+
+        return campaign_main(args[1:])
     if args and args[0] == "experiments":
         args = args[1:]
     return main_experiments(args)

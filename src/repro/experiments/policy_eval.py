@@ -3,6 +3,18 @@
 All of these compare Formula (3) (:class:`OptimalCountPolicy`) against
 Young's formula (:class:`YoungPolicy`) over the shared trace, replaying
 identical failure sequences for both policies.
+
+Every evaluation goes through the :func:`repro.api.run` facade, so an
+experiment's scalar outputs are the same record fields
+(``summary``/``extra``) a sweep cell or campaign cell carries, and the
+``store=`` parameter (tab6/fig9/fig10) writes each run's
+:class:`~repro.store.RunRecord` into a content-addressed result store
+— the record a campaign over the same specs would reuse.  The
+experiments always execute (``reuse=False``) because the CDF and
+per-priority figures need the per-job arrays that records, by design,
+do not persist; fig11–13 evaluate pre-filtered trace samples, which
+the store rejects (a trace override changes the computation without
+changing the spec digest), so they take no ``store``.
 """
 
 from __future__ import annotations
@@ -11,11 +23,8 @@ import math
 
 import numpy as np
 
-from repro.experiments.common import (
-    default_trace,
-    evaluate_policy,
-    policy_run_spec,
-)
+from repro import api
+from repro.experiments.common import default_trace, policy_run_spec
 from repro.experiments.registry import ExperimentReport, register
 from repro.experiments.reporting import render_table
 from repro.metrics.cdf import fraction_above, fraction_below
@@ -25,27 +34,47 @@ from repro.trace.sampler import filter_by_length
 __all__ = ["fig9", "fig10", "fig11", "fig12", "fig13", "table6"]
 
 
+def _run(spec, store=None, trace=None):
+    """One replay-tier evaluation through the facade.
+
+    Returns the :class:`~repro.api.RunResult`: record-shaped scalars
+    in ``summary``/``extra`` plus the per-job arrays under
+    ``policy_run``.
+    """
+    if trace is not None:
+        return api.run(spec, trace=trace)
+    return api.run(spec, store=store, reuse=False)
+
+
 @register("tab6")
-def table6(n_jobs: int = 4000, seed: int = 2013) -> ExperimentReport:
+def table6(n_jobs: int = 4000, seed: int = 2013,
+           store=None) -> ExperimentReport:
     """Table 6: checkpointing effect with *precise* prediction.
 
     Each task's MNOF/MTBF are its own historical values (oracle); the
     paper observes both formulas essentially coincide in this regime.
     """
-    runs = {
-        "formula3": evaluate_policy(policy_run_spec(
-            "optimal", n_jobs=n_jobs, trace_seed=seed, estimation="oracle")),
-        "young": evaluate_policy(policy_run_spec(
-            "young", n_jobs=n_jobs, trace_seed=seed, estimation="oracle")),
+    results = {
+        "formula3": _run(policy_run_spec(
+            "optimal", n_jobs=n_jobs, trace_seed=seed,
+            estimation="oracle"), store),
+        "young": _run(policy_run_spec(
+            "young", n_jobs=n_jobs, trace_seed=seed,
+            estimation="oracle"), store),
     }
     rows = []
     data: dict[str, dict[str, float]] = {}
     for jobs_label, bot in (("BoT", True), ("ST", False), ("Mix", None)):
         entry: dict[str, float] = {}
-        for name, run in runs.items():
-            wpr = run.job_wpr if bot is None else run.wpr_by_type(bot)
-            entry[f"{name}_avg"] = float(np.mean(wpr))
-            entry[f"{name}_low"] = float(np.min(wpr))
+        for name, result in results.items():
+            if bot is None:
+                # the mixed row is exactly the record's scalar fields
+                entry[f"{name}_avg"] = result.extra["mean_job_wpr"]
+                entry[f"{name}_low"] = result.extra["lowest_job_wpr"]
+            else:
+                wpr = result.policy_run.wpr_by_type(bot)
+                entry[f"{name}_avg"] = float(np.mean(wpr))
+                entry[f"{name}_low"] = float(np.min(wpr))
         data[jobs_label] = entry
         rows.append(
             [
@@ -74,12 +103,15 @@ def table6(n_jobs: int = 4000, seed: int = 2013) -> ExperimentReport:
 
 
 @register("fig9")
-def fig9(n_jobs: int = 4000, seed: int = 2013) -> ExperimentReport:
+def fig9(n_jobs: int = 4000, seed: int = 2013,
+         store=None) -> ExperimentReport:
     """Fig. 9: WPR CDFs with per-priority estimation, ST vs BoT jobs."""
-    f3 = evaluate_policy(policy_run_spec(
-        "optimal", n_jobs=n_jobs, trace_seed=seed, estimation="priority"))
-    yg = evaluate_policy(policy_run_spec(
-        "young", n_jobs=n_jobs, trace_seed=seed, estimation="priority"))
+    f3 = _run(policy_run_spec(
+        "optimal", n_jobs=n_jobs, trace_seed=seed,
+        estimation="priority"), store).policy_run
+    yg = _run(policy_run_spec(
+        "young", n_jobs=n_jobs, trace_seed=seed,
+        estimation="priority"), store).policy_run
     rows = []
     data: dict[str, float] = {}
     for label, bot in (("ST", False), ("BoT", True)):
@@ -113,12 +145,15 @@ def fig9(n_jobs: int = 4000, seed: int = 2013) -> ExperimentReport:
 
 
 @register("fig10")
-def fig10(n_jobs: int = 4000, seed: int = 2013) -> ExperimentReport:
+def fig10(n_jobs: int = 4000, seed: int = 2013,
+          store=None) -> ExperimentReport:
     """Fig. 10: min/avg/max WPR per priority, both formulas."""
-    f3 = evaluate_policy(policy_run_spec(
-        "optimal", n_jobs=n_jobs, trace_seed=seed, estimation="priority"))
-    yg = evaluate_policy(policy_run_spec(
-        "young", n_jobs=n_jobs, trace_seed=seed, estimation="priority"))
+    f3 = _run(policy_run_spec(
+        "optimal", n_jobs=n_jobs, trace_seed=seed,
+        estimation="priority"), store).policy_run
+    yg = _run(policy_run_spec(
+        "young", n_jobs=n_jobs, trace_seed=seed,
+        estimation="priority"), store).policy_run
     rows = []
     data: dict[int, dict[str, float]] = {}
     g_f3 = {g.key: g for g in group_min_avg_max(f3.job_wpr, f3.job_priority)}
@@ -170,12 +205,14 @@ def fig11(
         trace = filter_by_length(base, rl)
         if len(trace) == 0:
             continue
-        f3 = evaluate_policy(policy_run_spec(
+        f3 = _run(policy_run_spec(
             "optimal", n_jobs=n_jobs, trace_seed=seed,
-            estimation="priority", length_cap=rl), trace=trace)
-        yg = evaluate_policy(policy_run_spec(
+            estimation="priority", length_cap=rl),
+            trace=trace).policy_run
+        yg = _run(policy_run_spec(
             "young", n_jobs=n_jobs, trace_seed=seed,
-            estimation="priority", length_cap=rl), trace=trace)
+            estimation="priority", length_cap=rl),
+            trace=trace).policy_run
         for name, run in (("formula3", f3), ("young", yg)):
             above = fraction_above(run.job_wpr, 0.9)
             rows.append([f"RL={rl:g}", name, len(trace),
@@ -213,12 +250,14 @@ def fig12(
         trace = filter_by_length(base, rl)
         if len(trace) == 0:
             continue
-        f3 = evaluate_policy(policy_run_spec(
+        f3 = _run(policy_run_spec(
             "optimal", n_jobs=n_jobs, trace_seed=seed,
-            estimation="priority", length_cap=rl), trace=trace)
-        yg = evaluate_policy(policy_run_spec(
+            estimation="priority", length_cap=rl),
+            trace=trace).policy_run
+        yg = _run(policy_run_spec(
             "young", n_jobs=n_jobs, trace_seed=seed,
-            estimation="priority", length_cap=rl), trace=trace)
+            estimation="priority", length_cap=rl),
+            trace=trace).policy_run
         mean_delta = float(np.mean(yg.job_wall - f3.job_wall))
         median_delta = float(np.median(yg.job_wall - f3.job_wall))
         rows.append([
@@ -257,12 +296,14 @@ def fig13(
     """Fig. 13: per-job wall-clock ratio, formula (3) vs Young."""
     base = default_trace(n_jobs, seed)
     trace = filter_by_length(base, restricted_length)
-    f3 = evaluate_policy(policy_run_spec(
+    f3 = _run(policy_run_spec(
         "optimal", n_jobs=n_jobs, trace_seed=seed,
-        estimation="priority", length_cap=restricted_length), trace=trace)
-    yg = evaluate_policy(policy_run_spec(
+        estimation="priority", length_cap=restricted_length),
+        trace=trace).policy_run
+    yg = _run(policy_run_spec(
         "young", n_jobs=n_jobs, trace_seed=seed,
-        estimation="priority", length_cap=restricted_length), trace=trace)
+        estimation="priority", length_cap=restricted_length),
+        trace=trace).policy_run
     cmp_ = compare_wallclock(f3.job_wall, yg.job_wall)
     rows = [
         ["jobs faster under formula (3)", cmp_.frac_a_faster,

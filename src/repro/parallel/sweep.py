@@ -26,12 +26,29 @@ key=v1,v2`` expands dotted-path overrides over a base spec via
 :func:`expand_grid` — any field of the spec tree becomes a sweepable
 axis for free.
 
+Scheduling
+----------
+Large grids mix second-long and minute-long cells.  Cells are
+*dispatched* longest-first (by :func:`estimate_spec_cost`, a pure
+heuristic of the spec) so the expensive cells start while the pool is
+fresh, which cuts tail latency; cells are *merged* back in grid order,
+so the report — and every digest in it — is identical for any worker
+count and any cost model (:func:`dispatch_order` only permutes the
+execution schedule, never the output).
+
+Every cell is persisted as a :class:`~repro.store.RunRecord`; with
+``--store DIR`` the grid executes through a content-addressed
+:class:`~repro.store.ResultStore`, skipping cells whose spec digest is
+already recorded (the same resumability spine ``repro campaign``
+drives).
+
 Usage::
 
     repro sweep --policies optimal,young,daly --storage auto \\
         --n-jobs 500,2000 --seeds 0,1 --workers 4 --out sweep.json
     repro sweep --spec examples/specs/daly-shared.json \\
-        --axis policy.name=optimal,young --axis execution.base_seed=0,1
+        --axis policy.name=optimal,young --axis execution.base_seed=0,1 \\
+        --store results/
 """
 
 from __future__ import annotations
@@ -46,10 +63,13 @@ from pathlib import Path
 
 from repro.parallel.runner import _START_METHOD, default_workers
 from repro.spec import FAILURE_MODES, POLICY_NAMES, RunSpec, SpecError
+from repro.store import ResultStore, RunRecord
 
 __all__ = [
     "SweepPoint",
     "build_grid",
+    "dispatch_order",
+    "estimate_spec_cost",
     "expand_grid",
     "main",
     "run_point",
@@ -150,8 +170,65 @@ def build_grid(
     ]
 
 
-def run_point(point: SweepPoint) -> dict:
-    """Evaluate one grid point; returns the JSON-ready cell record."""
+# ----------------------------------------------------------------------
+# Longest-first dispatch.  The cost model only orders the schedule; it
+# never touches results, so a wildly wrong estimate costs wall-clock,
+# not correctness.
+# ----------------------------------------------------------------------
+#: relative per-task cost of each execution tier (the scalar reference
+#: loop is pure Python per task; the DES pays the event loop).
+_TIER_COST = {"vector": 1.0, "replay": 1.5, "scalar": 25.0, "des": 60.0}
+
+#: rough tasks-per-job of the synthesized evaluation traces.
+_TASKS_PER_TRACE_JOB = 4.0
+_TASKS_PER_HISTORY_JOB = 2.5
+
+
+def estimate_spec_cost(spec: RunSpec) -> float:
+    """Estimated relative cost of one cell (a pure function of the spec).
+
+    Workload size (tasks for synthetic batches, jobs × average tasks
+    per job for trace-driven workloads) scaled by a per-tier factor.
+    Used only to pick the dispatch order of grid cells.
+    """
+    w = spec.workload
+    if w.source == "synthetic":
+        size = float(w.n_tasks)
+    elif w.source == "google":
+        size = _TASKS_PER_TRACE_JOB * w.trace_jobs
+    else:  # "history"
+        size = _TASKS_PER_HISTORY_JOB * w.n_jobs
+    return size * _TIER_COST[spec.execution.tier]
+
+
+def dispatch_order(costs) -> list[int]:
+    """Longest-first execution schedule over per-cell cost estimates.
+
+    Returns a permutation of ``range(len(costs))``: highest cost
+    first, ties broken by grid index (so the order is deterministic).
+    Callers dispatch in this order and merge results back by the
+    returned indices — the merged grid order never changes.
+    """
+    return sorted(range(len(costs)),
+                  key=lambda i: (-float(costs[i]), i))
+
+
+def _merge_in_grid_order(order: list[int], done: list) -> list:
+    """Invert the dispatch permutation back to grid order."""
+    cells = [None] * len(order)
+    for slot, cell in zip(order, done):
+        cells[slot] = cell
+    return cells
+
+
+def run_point(point: SweepPoint, store=None) -> dict:
+    """Evaluate one grid point; returns the JSON-ready cell record.
+
+    The cell is the point's :class:`~repro.store.RunRecord` dict plus
+    the legacy flat point fields; with ``store`` (a path or
+    :class:`~repro.store.ResultStore`) the evaluation is
+    skip-if-cached.
+    """
     # Imported here (not at module top) so pool workers under ``spawn``
     # pay the import once per process, and to keep this module
     # import-light for ``--list``-style CLI paths.
@@ -160,40 +237,63 @@ def run_point(point: SweepPoint) -> dict:
     t0 = time.perf_counter()
     spec = point.to_spec()
     # parallelism lives at the grid level, so the cell runs workers=1
-    result = api.run(spec)
-    run = result.policy_run
-    return {
-        **asdict(point),
-        "spec_digest": spec.spec_digest(),
-        "n_jobs_sampled": int(result.extra["n_jobs_sampled"]),
-        "n_tasks": int(run.sim.n_tasks),
-        "digest": result.digest,
-        "summary": result.summary,
-        "mean_job_wpr": result.extra["mean_job_wpr"],
-        "lowest_job_wpr": result.extra["lowest_job_wpr"],
-        "mean_job_wall": result.extra["mean_job_wall"],
-        "elapsed_s": round(time.perf_counter() - t0, 3),
-    }
+    result = api.run(spec, store=store)
+    record = RunRecord.from_result(result)
+    cell = {**record.to_dict(), **asdict(point)}
+    cell.update(
+        n_jobs_sampled=int(result.extra["n_jobs_sampled"]),
+        n_tasks=int(result.summary["n_tasks"]),
+        mean_job_wpr=result.extra["mean_job_wpr"],
+        lowest_job_wpr=result.extra["lowest_job_wpr"],
+        mean_job_wall=result.extra["mean_job_wall"],
+        elapsed_s=round(time.perf_counter() - t0, 3),
+        cached=result.cached,
+    )
+    return cell
 
 
-def run_sweep(points: list[SweepPoint], workers: int = 1) -> dict:
-    """Execute a grid (serially or on a pool) into one report dict."""
+def _run_point_job(job: "tuple[SweepPoint, str | None]") -> dict:
+    """Pool worker for the legacy point grid."""
+    point, store_root = job
+    return run_point(point, store=store_root)
+
+
+def _store_root(store) -> "str | None":
+    """Normalize a store argument to a path string (creating the dir)."""
+    if store is None:
+        return None
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    return str(store.root)
+
+
+def run_sweep(points: list[SweepPoint], workers: int = 1, store=None) -> dict:
+    """Execute a grid (serially or on a pool) into one report dict.
+
+    Cells dispatch longest-first and merge in grid order (see the
+    module docstring); ``store`` makes the grid skip-if-cached.
+    """
     if not points:
         raise ValueError("cannot run an empty sweep grid")
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     t0 = time.perf_counter()
+    root = _store_root(store)
+    order = dispatch_order([estimate_spec_cost(p.to_spec()) for p in points])
+    jobs = [(points[i], root) for i in order]
     n_procs = min(workers, len(points))
     if n_procs <= 1:
-        cells = [run_point(p) for p in points]
+        done = [_run_point_job(j) for j in jobs]
     else:
         ctx = multiprocessing.get_context(_START_METHOD)
         with ctx.Pool(processes=n_procs) as pool:
-            cells = pool.map(run_point, points)
+            done = pool.map(_run_point_job, jobs)
+    cells = _merge_in_grid_order(order, done)
     return {
         "command": "repro sweep",
         "n_points": len(points),
         "workers": workers,
+        "store": root,
         "elapsed_s": round(time.perf_counter() - t0, 3),
         "points": cells,
     }
@@ -227,19 +327,26 @@ def expand_grid(
     return [base.evolve(**combo) for combo in combos]
 
 
-def _run_spec_cell(spec_dict: dict) -> dict:
-    """Pool worker: execute one spec (shipped as its dict form)."""
+def _run_spec_cell(job: "tuple[dict, str | None]") -> dict:
+    """Pool worker: execute one spec (shipped as its dict form).
+
+    The cell is the run's :class:`~repro.store.RunRecord` dict; when a
+    store path is given the worker writes the record itself, so a
+    killed grid keeps every completed cell.
+    """
     from repro import api
 
+    spec_dict, store_root = job
     t0 = time.perf_counter()
     spec = RunSpec.from_dict(spec_dict)
-    result = api.run(spec)
-    record = result.to_dict()
-    record["elapsed_s"] = round(time.perf_counter() - t0, 3)
-    return record
+    result = api.run(spec, store=store_root)
+    cell = RunRecord.from_result(result).to_dict()
+    cell["elapsed_s"] = round(time.perf_counter() - t0, 3)
+    cell["cached"] = result.cached
+    return cell
 
 
-def run_specs(specs: list[RunSpec], workers: int = 1) -> dict:
+def run_specs(specs: list[RunSpec], workers: int = 1, store=None) -> dict:
     """Execute a list of specs (serially or on a pool) into one report.
 
     Cells are pure functions of their spec, so the report's digests are
@@ -249,24 +356,36 @@ def run_specs(specs: list[RunSpec], workers: int = 1) -> dict:
     base spec says (a cell inside a daemonic pool worker could not
     spawn its own pool anyway, and digests are worker-invariant, so
     this never changes results).
+
+    Cells dispatch longest-first (:func:`dispatch_order` over
+    :func:`estimate_spec_cost`) and merge back in grid order.  With
+    ``store`` (a path or :class:`~repro.store.ResultStore`), cells
+    whose spec digest already has a record are served from it and each
+    fresh cell persists its record as soon as it finishes.
     """
     if not specs:
         raise ValueError("cannot run an empty spec grid")
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     t0 = time.perf_counter()
-    jobs = [s.evolve(**{"execution.workers": 1}).to_dict() for s in specs]
+    root = _store_root(store)
+    jobs = [(s.evolve(**{"execution.workers": 1}).to_dict(), root)
+            for s in specs]
+    order = dispatch_order([estimate_spec_cost(s) for s in specs])
+    dispatch = [jobs[i] for i in order]
     n_procs = min(workers, len(jobs))
     if n_procs <= 1:
-        cells = [_run_spec_cell(j) for j in jobs]
+        done = [_run_spec_cell(j) for j in dispatch]
     else:
         ctx = multiprocessing.get_context(_START_METHOD)
         with ctx.Pool(processes=n_procs) as pool:
-            cells = pool.map(_run_spec_cell, jobs)
+            done = pool.map(_run_spec_cell, dispatch)
+    cells = _merge_in_grid_order(order, done)
     return {
         "command": "repro sweep --spec",
         "n_points": len(specs),
         "workers": workers,
+        "store": root,
         "elapsed_s": round(time.perf_counter() - t0, 3),
         "points": cells,
     }
@@ -331,6 +450,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=1,
                         help="process-pool size (0 = one per CPU core); "
                              "any value reproduces the same digests")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="content-addressed result store: cells whose "
+                             "spec digest is already recorded are served "
+                             "from it, fresh cells persist their RunRecord")
     parser.add_argument("--out", metavar="PATH", default="sweep.json",
                         help="JSON report path (default: sweep.json)")
     parser.add_argument("--quiet", action="store_true",
@@ -366,18 +489,20 @@ def _main_specs(args, workers: int) -> int:
         base = load_spec(args.spec)
         axes = [_parse_axis(a) for a in args.axes]
         specs = expand_grid(base, axes)
-        report = run_specs(specs, workers=workers)
+        report = run_specs(specs, workers=workers, store=args.store)
     except SpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if not args.quiet:
         for cell in report["points"]:
             wpr = cell["summary"]["mean_wpr"]
+            mark = " *" if cell.get("cached") else ""
             print(
                 f"{cell['name']:32.32s} [{cell['tier']:6s}] "
                 f"tasks={cell['summary']['n_tasks']:<8.0f} "
                 f"wpr={wpr:.4f} "
-                f"digest={cell['digest'][:12]}  {cell['elapsed_s']:6.2f}s"
+                f"digest={(cell['digest'] or '?')[:12]}  "
+                f"{cell['elapsed_s']:6.2f}s{mark}"
             )
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(
@@ -409,7 +534,7 @@ def main(argv: list[str] | None = None) -> int:
             raise ValueError(
                 "empty sweep grid: every axis needs at least one value"
             )
-        report = run_sweep(points, workers=workers)
+        report = run_sweep(points, workers=workers, store=args.store)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -420,7 +545,8 @@ def main(argv: list[str] | None = None) -> int:
                 f"jobs={cell['n_jobs']:<7d} seed={cell['trace_seed']:<6d} "
                 f"tasks={cell['n_tasks']:<7d} "
                 f"wpr={cell['mean_job_wpr']:.4f} "
-                f"digest={cell['digest'][:12]}  {cell['elapsed_s']:6.2f}s"
+                f"digest={(cell['digest'] or '?')[:12]}  "
+                f"{cell['elapsed_s']:6.2f}s"
             )
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(

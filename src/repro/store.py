@@ -1,0 +1,438 @@
+"""``repro.store`` — the content-addressed result store.
+
+The spec side of the API has one canonical identity,
+:meth:`~repro.spec.RunSpec.spec_digest`; this module gives the *result*
+side the matching persistence layer.  A :class:`ResultStore` is a
+file-backed map ``spec_digest -> RunRecord`` where a
+:class:`RunRecord` is the versioned, JSON-serializable snapshot of one
+execution: the spec that ran, the result digest, the summary
+statistics, timings, and provenance (code version, tier, worker
+counts).
+
+Design rules
+------------
+* **Content addressing.**  Records are keyed by the spec digest, so
+  equal experiments share one slot: a sweep, a campaign, and an ad-hoc
+  ``repro run`` all hit the same cache entry, and recomputing a cell
+  can only ever rewrite identical bytes (modulo timings).
+* **Atomic writes.**  ``put`` writes to a temporary file in the record
+  directory and ``os.replace``\\ s it into place.  Readers therefore
+  never observe a torn record: two writers racing on one digest end
+  with either writer's complete payload, and a reader that overlaps a
+  write sees one of the two complete versions.
+* **Versioned schema, migration on read.**  Every record carries
+  ``record_version``.  ``from_dict`` upgrades older versions through
+  the :data:`_MIGRATIONS` chain, so a store written by an earlier
+  build keeps serving a newer one; an unknown *newer* version raises
+  :class:`StoreError` instead of silently misreading.
+* **Stdlib only.**  Like :mod:`repro.spec`, the store imports no
+  third-party packages, so config and report tooling can read stores
+  without paying for NumPy.
+
+The consumers are :func:`repro.api.run` (``store=`` gives any caller
+skip-if-cached execution), :mod:`repro.parallel.sweep` (``--store``),
+:mod:`repro.campaign` (resumable grids), and the verify subsystem's
+golden files (pinned :meth:`RunRecord.pinned_dict` payloads).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "RECORD_VERSION",
+    "ResultStore",
+    "RunRecord",
+    "StoreError",
+    "canonical_spec_dict",
+]
+
+#: Schema version of the serialized record form.  Bump it when the
+#: record shape changes and register a migration in :data:`_MIGRATIONS`.
+RECORD_VERSION = 2
+
+
+class StoreError(RuntimeError):
+    """A result record failed to read, validate, or migrate."""
+
+
+def canonical_spec_dict(spec) -> dict:
+    """The spec snapshot a record stores: canonical w.r.t. the digest.
+
+    ``spec_digest`` deliberately excludes scheduling and prose fields
+    (``execution.workers``, ``execution.quick``, ``description``,
+    ``tags``); two specs differing only there share one store slot, so
+    the snapshot pins those fields to their defaults.  This is what
+    makes the store's byte-identity contract hold no matter which
+    caller (``repro run --store``, a sweep, a campaign, ``repro verify
+    --store``) computed the record first.
+    """
+    return spec.evolve(**{
+        "description": "",
+        "tags": [],
+        "execution.workers": 1,
+        "execution.quick": False,
+    }).to_dict()
+
+
+# ----------------------------------------------------------------------
+# The record.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunRecord:
+    """One persisted execution result, keyed by its spec digest.
+
+    ``summary``/``extra`` are the scalar statistics of
+    :class:`repro.api.RunResult`; ``spec`` is the full serialized
+    :class:`~repro.spec.RunSpec` snapshot (so a store is self-describing
+    — any record can be re-run without the file that produced it);
+    ``provenance`` records how the result was produced (code version,
+    requested and effective worker counts) without affecting identity.
+    """
+
+    spec_digest: str
+    name: str
+    tier: str
+    seed: int
+    digest: str | None
+    summary: dict[str, float] = field(default_factory=dict)
+    extra: dict[str, float] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+    spec: dict | None = None
+    provenance: dict[str, Any] = field(default_factory=dict)
+    record_version: int = RECORD_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.spec_digest:
+            raise StoreError("record needs a non-empty spec_digest")
+        if self.record_version != RECORD_VERSION:
+            raise StoreError(
+                f"RunRecord is always the current schema "
+                f"(version {RECORD_VERSION}); got {self.record_version!r} — "
+                "serialized forms migrate through RunRecord.from_dict"
+            )
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_result(cls, result) -> RunRecord:
+        """Build a record from a :class:`repro.api.RunResult`.
+
+        Record content is canonical w.r.t. the spec digest: the spec
+        snapshot goes through :func:`canonical_spec_dict` and the
+        ``workers_effective`` marker moves from ``extra`` (where the
+        live result carries it) into ``provenance`` — recomputing a
+        record can then only ever rewrite identical bytes (modulo the
+        non-pinned ``elapsed_s``/``provenance`` fields), regardless of
+        the worker count or prose of the spec that triggered it.
+        """
+        from repro._version import __version__
+
+        workers = result.spec.execution.workers
+        return cls(
+            spec_digest=result.spec.spec_digest(),
+            name=result.spec.name,
+            tier=result.tier,
+            seed=result.seed,
+            digest=result.digest,
+            summary=dict(result.summary),
+            extra={k: v for k, v in result.extra.items()
+                   if k != "workers_effective"},
+            elapsed_s=round(float(result.elapsed_s), 3),
+            spec=canonical_spec_dict(result.spec),
+            provenance={
+                "code_version": __version__,
+                "workers": workers,
+                "workers_effective": int(
+                    result.extra.get("workers_effective", workers)
+                ),
+            },
+        )
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (the on-disk form)."""
+        return {
+            "record_version": self.record_version,
+            "spec_digest": self.spec_digest,
+            "name": self.name,
+            "tier": self.tier,
+            "seed": self.seed,
+            "digest": self.digest,
+            "summary": dict(self.summary),
+            "extra": dict(self.extra),
+            "elapsed_s": self.elapsed_s,
+            "spec": self.spec,
+            "provenance": dict(self.provenance),
+        }
+
+    def pinned_dict(self) -> dict:
+        """The deterministic subset of :meth:`to_dict`.
+
+        Drops ``elapsed_s`` and ``provenance`` — the only fields that
+        legitimately differ between two executions of one spec — so
+        reports and golden files built from pinned dicts are
+        byte-identical whether a cell was computed or served from the
+        store.
+        """
+        out = self.to_dict()
+        del out["elapsed_s"], out["provenance"]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> RunRecord:
+        """Parse (and, for older schema versions, migrate) a record."""
+        if not isinstance(data, dict):
+            raise StoreError(f"record must be an object, got {type(data).__name__}")
+        data = dict(data)
+        version = data.get("record_version", 1)
+        if not isinstance(version, int) or isinstance(version, bool):
+            raise StoreError(f"bad record_version {version!r}")
+        if version > RECORD_VERSION:
+            raise StoreError(
+                f"record_version {version} is newer than this build "
+                f"reads (version {RECORD_VERSION}); upgrade the package "
+                "or prune the store"
+            )
+        while version < RECORD_VERSION:
+            data = _MIGRATIONS[version](data)
+            version = data["record_version"]
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise StoreError(
+                f"unknown record field(s): {', '.join(unknown)}"
+            )
+        try:
+            record = cls(**data)
+        except TypeError as exc:
+            raise StoreError(f"incomplete record: {exc}") from None
+        for name, value, kind in (
+            ("spec_digest", record.spec_digest, str),
+            ("tier", record.tier, str),
+            ("summary", record.summary, dict),
+            ("extra", record.extra, dict),
+            ("provenance", record.provenance, dict),
+        ):
+            if not isinstance(value, kind):
+                raise StoreError(
+                    f"record field {name!r} must be {kind.__name__}, "
+                    f"got {value!r}"
+                )
+        return record
+
+    def to_json(self) -> str:
+        """JSON text (sorted keys, trailing newline)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def _migrate_v1(data: dict) -> dict:
+    """v1 -> v2: the pre-store ``RunResult.to_dict()`` report shape.
+
+    Version 1 is what ``repro run --out`` and ``repro sweep`` wrote
+    before the store existed: same scalar fields, no
+    ``record_version`` marker and no ``provenance``.  The upgrade
+    fills the missing bookkeeping with conservative defaults.
+    """
+    out = dict(data)
+    out.pop("record_version", None)
+    out.setdefault("name", "unknown")
+    out.setdefault("tier", "scalar")
+    out.setdefault("seed", 0)
+    out.setdefault("digest", None)
+    out.setdefault("summary", {})
+    out.setdefault("extra", {})
+    out.setdefault("elapsed_s", 0.0)
+    out.setdefault("spec", None)
+    out.setdefault("provenance", {})
+    out["provenance"] = {"migrated_from": 1, **out["provenance"]}
+    out["record_version"] = 2
+    return out
+
+
+#: per-version upgrade steps; ``from_dict`` chains them until the data
+#: reaches :data:`RECORD_VERSION`.
+_MIGRATIONS: dict[int, Callable[[dict], dict]] = {1: _migrate_v1}
+
+
+# ----------------------------------------------------------------------
+# The store.
+# ----------------------------------------------------------------------
+class ResultStore:
+    """File-backed content-addressed store of :class:`RunRecord`\\ s.
+
+    Layout: ``root/<digest[:2]>/<digest>.json`` — two-level fan-out so
+    million-cell campaign stores never put a million entries in one
+    directory.  All operations are safe under concurrent writers (see
+    the module docstring's atomicity rule).
+    """
+
+    def __init__(self, root: str | Path, create: bool = True) -> None:
+        self.root = Path(root)
+        if create:
+            self.root.mkdir(parents=True, exist_ok=True)
+        elif not self.root.is_dir():
+            raise StoreError(f"result store {self.root} does not exist")
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.root)!r})"
+
+    # -- paths ---------------------------------------------------------
+    def path_for(self, spec_digest: str) -> Path:
+        """On-disk path of the record for ``spec_digest``."""
+        if not spec_digest or any(c in spec_digest for c in "/\\."):
+            raise StoreError(f"bad spec digest {spec_digest!r}")
+        return self.root / spec_digest[:2] / f"{spec_digest}.json"
+
+    # -- core operations -----------------------------------------------
+    def put(self, record: RunRecord) -> Path:
+        """Persist ``record`` atomically; returns the record path.
+
+        The write goes to a uniquely named temporary file in the final
+        directory and is renamed into place, so a concurrent reader
+        sees either the previous complete record or the new one —
+        never a prefix.  The last writer wins.
+        """
+        path = self.path_for(record.spec_digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".{record.spec_digest[:8]}-", suffix=".tmp",
+            dir=path.parent,
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(record.to_json())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get(
+        self, spec_digest: str, on_corrupt: str = "raise"
+    ) -> RunRecord | None:
+        """Load the record for ``spec_digest`` (``None`` when absent).
+
+        ``on_corrupt`` selects what an unreadable record does:
+        ``"raise"`` (default) raises :class:`StoreError` so corruption
+        is never silent; ``"miss"`` treats it as a cache miss — the
+        campaign runner's choice, because recomputing the cell rewrites
+        a good record over the bad one.
+        """
+        if on_corrupt not in ("raise", "miss"):
+            raise ValueError(
+                f"on_corrupt must be 'raise' or 'miss', got {on_corrupt!r}"
+            )
+        path = self.path_for(spec_digest)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            if on_corrupt == "miss":
+                return None
+            raise StoreError(f"cannot read record {path}: {exc}") from None
+        try:
+            record = RunRecord.from_dict(json.loads(text))
+        except (StoreError, ValueError) as exc:
+            if on_corrupt == "miss":
+                return None
+            raise StoreError(f"corrupt record {path}: {exc}") from None
+        if record.spec_digest != spec_digest:
+            # A renamed/copied file: content addressing makes the
+            # mismatch detectable, so detect it.
+            if on_corrupt == "miss":
+                return None
+            raise StoreError(
+                f"record {path} claims spec_digest "
+                f"{record.spec_digest[:12]}…, expected {spec_digest[:12]}…"
+            )
+        return record
+
+    def contains(self, spec_digest: str) -> bool:
+        """Whether a record file exists for ``spec_digest``.
+
+        Existence only — a truncated record still "exists"; use
+        :meth:`get` with ``on_corrupt='miss'`` when a readable record
+        is required.
+        """
+        return self.path_for(spec_digest).exists()
+
+    __contains__ = contains
+
+    def digests(self) -> Iterator[str]:
+        """All record digests in the store, in sorted order."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("??/*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.digests())
+
+    # -- maintenance ---------------------------------------------------
+    def prune(
+        self,
+        keep: "set[str] | None" = None,
+        drop_corrupt: bool = False,
+    ) -> dict[str, int]:
+        """Delete records and report what happened.
+
+        With ``keep`` given, every record whose digest is not in the
+        set is removed (a campaign prunes to its own cell set this
+        way).  With ``drop_corrupt=True``, records that fail to parse
+        are removed too.  Returns ``{"removed", "kept",
+        "corrupt_removed"}`` counts.
+        """
+        removed = kept = corrupt_removed = 0
+        for digest in list(self.digests()):
+            path = self.path_for(digest)
+            if keep is not None and digest not in keep:
+                path.unlink(missing_ok=True)
+                removed += 1
+                continue
+            if drop_corrupt and self.get(digest, on_corrupt="miss") is None:
+                path.unlink(missing_ok=True)
+                corrupt_removed += 1
+                continue
+            kept += 1
+        return {
+            "removed": removed,
+            "kept": kept,
+            "corrupt_removed": corrupt_removed,
+        }
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregate store statistics.
+
+        ``n_records``/``total_bytes`` count record files;
+        ``n_corrupt`` counts those that fail to parse; ``by_tier``
+        histograms the readable records.
+        """
+        n = total = corrupt = 0
+        by_tier: dict[str, int] = {}
+        for digest in self.digests():
+            n += 1
+            try:
+                total += self.path_for(digest).stat().st_size
+            except OSError:
+                pass
+            record = self.get(digest, on_corrupt="miss")
+            if record is None:
+                corrupt += 1
+            else:
+                by_tier[record.tier] = by_tier.get(record.tier, 0) + 1
+        return {
+            "root": str(self.root),
+            "n_records": n,
+            "n_corrupt": corrupt,
+            "total_bytes": total,
+            "by_tier": dict(sorted(by_tier.items())),
+        }

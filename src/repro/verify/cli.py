@@ -20,10 +20,12 @@ import json
 import sys
 from pathlib import Path
 
+from repro.store import ResultStore
 from repro.verify.golden import (
     compare_with_golden,
     default_golden_dir,
     load_golden,
+    tier_records,
     write_golden,
 )
 from repro.verify.runner import run_scenario
@@ -60,6 +62,9 @@ def _build_parser() -> argparse.ArgumentParser:
                              "of the source checkout)")
     parser.add_argument("--report", metavar="PATH", default=None,
                         help="write the machine-readable JSON report here")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="persist every executed tier's RunRecord into "
+                             "this content-addressed result store")
     return parser
 
 
@@ -112,10 +117,14 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     golden_dir = Path(args.golden_dir) if args.golden_dir else default_golden_dir()
+    store = ResultStore(args.store) if args.store else None
     reports = []
     total_violations = 0
     for spec in specs:
         result = run_scenario(spec, base_seed=args.seed)
+        if store is not None:
+            for record in tier_records(result).values():
+                store.put(record)
         checks = list(result.checks)
         if args.update_golden:
             path = write_golden(result, golden_dir)

@@ -8,6 +8,14 @@ pinned under **tolerances** — their draw order is an implementation
 detail the roadmap's perf work is explicitly allowed to change, but
 their distributions are not.
 
+Since golden schema version 2 each tier section is the
+:meth:`~repro.store.RunRecord.pinned_dict` of a
+:class:`~repro.store.RunRecord` — the same versioned payload the
+result store, the sweep reports, and the campaign reports use — so a
+golden file also snapshots the exact lowered spec that produced the
+pin (vector/DES records carry ``digest: null``: their draw order is
+not part of the pin).  Version-1 files migrate on read.
+
 ``repro verify --update-golden`` regenerates the files; the payload
 records enough summary statistics to make diffs reviewable.
 """
@@ -17,6 +25,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro._version import __version__
+from repro.store import RunRecord, canonical_spec_dict
 from repro.verify.compare import Check
 from repro.verify.runner import ScenarioResult
 
@@ -27,10 +37,11 @@ __all__ = [
     "golden_path",
     "golden_payload",
     "load_golden",
+    "tier_records",
     "write_golden",
 ]
 
-GOLDEN_VERSION = 1
+GOLDEN_VERSION = 2
 
 #: vectorized/DES tier drift allowed against the pinned summary —
 #: generous enough for a draw-order change, tight enough that a model
@@ -60,20 +71,58 @@ def golden_path(name: str, golden_dir: Path | None = None) -> Path:
     return Path(base) / f"{name}.json"
 
 
+def tier_records(result: ScenarioResult) -> dict[str, RunRecord]:
+    """One :class:`~repro.store.RunRecord` per executed tier.
+
+    Each record snapshots the scenario lowered to that tier's
+    :class:`~repro.spec.RunSpec` (canonicalized exactly like every
+    other store record, so a verify-written store slot is
+    byte-compatible with what ``repro run --store`` would have
+    written) and carries the tier's real result digest — what a golden
+    file *pins* is decided by :func:`golden_payload`, not here.
+    """
+    scenario = result.scenario
+    records: dict[str, RunRecord] = {}
+    for tier, tr in result.tiers.items():
+        spec = scenario.to_spec(base_seed=result.base_seed, tier=tier)
+        records[tier] = RunRecord(
+            spec_digest=spec.spec_digest(),
+            name=scenario.name,
+            tier=tier,
+            seed=result.seed,
+            digest=tr.digest,
+            summary={k: float(v) for k, v in tr.summary.items()},
+            extra={k: float(v) for k, v in tr.extra.items()},
+            elapsed_s=round(result.elapsed_s, 3),
+            spec=canonical_spec_dict(spec),
+            provenance={"code_version": __version__, "workers": 1,
+                        "workers_effective": 1},
+        )
+    return records
+
+
 def golden_payload(result: ScenarioResult) -> dict:
-    """JSON payload pinned for one scenario."""
-    scalar = result.tiers["scalar"]
-    vector = result.tiers["vector"]
-    des = result.tiers["des"]
-    return {
+    """JSON payload pinned for one scenario (tier sections are pinned
+    :class:`~repro.store.RunRecord` dicts).
+
+    The vector/DES record digests are nulled in the *golden* payload —
+    their draw order is an implementation detail pinned under
+    tolerances, not bytes — while the store path
+    (``repro verify --store``) keeps them.
+    """
+    records = tier_records(result)
+    payload = {
         "version": GOLDEN_VERSION,
         "scenario": result.scenario.name,
         "compare": result.scenario.compare,
         "seed": result.seed,
-        "scalar": {"digest": scalar.digest, "summary": scalar.summary},
-        "vector": {"summary": vector.summary},
-        "des": {"summary": des.summary, "extra": des.extra},
+        "scalar": records["scalar"].pinned_dict(),
+        "vector": records["vector"].pinned_dict(),
+        "des": records["des"].pinned_dict(),
     }
+    payload["vector"]["digest"] = None
+    payload["des"]["digest"] = None
+    return payload
 
 
 def write_golden(result: ScenarioResult, golden_dir: Path | None = None) -> Path:
@@ -86,12 +135,46 @@ def write_golden(result: ScenarioResult, golden_dir: Path | None = None) -> Path
     return path
 
 
+def _migrate_golden_v1(payload: dict) -> dict:
+    """v1 -> v2: wrap the bespoke tier dicts into record shape.
+
+    Version-1 sections carried only ``digest``/``summary``/``extra``;
+    the record fields a v1 file cannot know (spec snapshot, spec
+    digest) are filled with empty markers — ``compare_with_golden``
+    never reads them, so old pins keep checking until regenerated.
+    """
+    out = dict(payload)
+    for tier in ("scalar", "vector", "des"):
+        section = dict(out.get(tier, {}))
+        out[tier] = {
+            "record_version": 2,
+            "spec_digest": "",
+            "name": out.get("scenario", "unknown"),
+            "tier": tier,
+            "seed": out.get("seed", 0),
+            "digest": section.get("digest"),
+            "summary": section.get("summary", {}),
+            "extra": section.get("extra", {}),
+            "spec": None,
+        }
+    out["version"] = 2
+    return out
+
+
 def load_golden(name: str, golden_dir: Path | None = None) -> dict | None:
-    """Load a scenario's golden payload (``None`` when absent)."""
+    """Load a scenario's golden payload (``None`` when absent).
+
+    Older schema versions migrate on read, mirroring the result
+    store's contract: a golden corpus written by an earlier build
+    keeps serving a newer one.
+    """
     path = golden_path(name, golden_dir)
     if not path.exists():
         return None
-    return json.loads(path.read_text())
+    payload = json.loads(path.read_text())
+    if payload.get("version") == 1:
+        payload = _migrate_golden_v1(payload)
+    return payload
 
 
 def _tol_check(

@@ -90,6 +90,10 @@ class ScenarioResult:
     tiers: dict[str, TierResult]
     checks: list[Check]
     elapsed_s: float
+    #: the base seed the run was requested with (``seed`` above is the
+    #: derived workload seed); golden records snapshot the spec
+    #: lowered with this value
+    base_seed: int = 0
 
     @property
     def passed(self) -> bool:
@@ -327,4 +331,5 @@ def run_scenario(
         tiers={"scalar": scalar, "vector": vector, "des": des},
         checks=checks,
         elapsed_s=time.perf_counter() - t0,
+        base_seed=base_seed,
     )

@@ -271,3 +271,99 @@ class TestRunCli:
         rc = cli_main(["run", "--scenario", QUICK[0]])
         assert rc == 0
         assert QUICK[0] in capsys.readouterr().out
+
+
+class TestStoreBackedRun:
+    def test_hit_returns_record_and_miss_persists(self, tmp_path):
+        from repro.store import ResultStore
+
+        spec = api.scenario_spec("short-tasks")
+        first = api.run(spec, store=tmp_path)
+        assert not first.cached
+        assert ResultStore(tmp_path).contains(spec.spec_digest())
+        second = api.run(spec, store=tmp_path)
+        assert second.cached
+        assert second.digest == first.digest
+        assert second.summary == first.summary
+        # cached extras are record content: canonical, so the live-run
+        # workers_effective marker is absent
+        assert second.extra == {k: v for k, v in first.extra.items()
+                                if k != "workers_effective"}
+        assert second.spec.spec_digest() == spec.spec_digest()
+        assert second.tier_result is None  # arrays are not persisted
+
+    def test_reuse_false_executes_but_writes_through(self, tmp_path):
+        spec = policy_run_spec("optimal", n_jobs=60, trace_seed=0)
+        res = api.run(spec, store=tmp_path, reuse=False)
+        assert not res.cached and res.policy_run is not None
+        assert api.run(spec, store=tmp_path).cached
+
+    def test_corrupt_record_is_a_miss(self, tmp_path):
+        from repro.store import ResultStore
+
+        spec = api.scenario_spec("short-tasks")
+        store = ResultStore(tmp_path)
+        first = api.run(spec, store=store)
+        path = store.path_for(spec.spec_digest())
+        path.write_text(path.read_text()[:20])
+        healed = api.run(spec, store=store)
+        assert not healed.cached and healed.digest == first.digest
+        assert store.get(spec.spec_digest()).digest == first.digest
+
+    def test_trace_override_rejected_with_store(self, tmp_path):
+        spec = policy_run_spec("optimal", n_jobs=60, trace_seed=0)
+        with pytest.raises(SpecError, match="spec_digest"):
+            api.run(spec, store=tmp_path, trace=default_trace(50, 5))
+
+    def test_cli_store_flag(self, tmp_path, capsys):
+        spec_path = tmp_path / "run.json"
+        api.scenario_spec("short-tasks").save(spec_path)
+        store = tmp_path / "store"
+        assert api.main(["--spec", str(spec_path),
+                         "--store", str(store)]) == 0
+        assert "(cached)" not in capsys.readouterr().out
+        assert api.main(["--spec", str(spec_path),
+                         "--store", str(store)]) == 0
+        assert "(cached)" in capsys.readouterr().out
+
+
+class TestWorkersEffective:
+    def test_vector_and_replay_record_requested_workers(self):
+        vec = api.run(api.scenario_spec("short-tasks", tier="vector",
+                                        workers=2))
+        assert vec.extra["workers_effective"] == 2.0
+        rep = api.run(policy_run_spec("optimal", n_jobs=60, trace_seed=0,
+                                      workers=2))
+        assert rep.extra["workers_effective"] == 2.0
+
+    def test_scalar_is_single_stream(self):
+        res = api.run(api.scenario_spec("short-tasks"))
+        assert res.extra["workers_effective"] == 1.0
+
+    def test_des_workers_warn_once_and_record_one(self, monkeypatch):
+        # The satellite contract: a single documented warning per
+        # process, workers_effective=1 recorded instead of a silent
+        # ignore.
+        monkeypatch.setattr(api, "_DES_WORKERS_WARNED", False)
+        spec = api.scenario_spec("policy-no-checkpoint", tier="des",
+                                 workers=4)
+        with pytest.warns(UserWarning, match="workers_effective=1"):
+            first = api.run(spec)
+        assert first.extra["workers_effective"] == 1.0
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            second = api.run(spec)
+        assert not [w for w in caught
+                    if issubclass(w.category, UserWarning)
+                    and "des" in str(w.message)]
+        assert second.extra["workers_effective"] == 1.0
+        # workers stays out of the digest: same record either way
+        assert first.digest == api.run(
+            spec.evolve(**{"execution.workers": 1})).digest
+
+    def test_des_without_workers_does_not_warn(self, monkeypatch):
+        monkeypatch.setattr(api, "_DES_WORKERS_WARNED", False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            api.run(api.scenario_spec("policy-no-checkpoint", tier="des"))
+        assert not [w for w in caught if issubclass(w.category, UserWarning)]

@@ -1,0 +1,270 @@
+"""Tests for the declarative campaign layer (:mod:`repro.campaign`).
+
+The acceptance contract of the store/campaign redesign: interrupting a
+campaign mid-grid and re-running with the same store recomputes only
+the uncached cells, and the resulting per-cell digests and shared
+report match a from-scratch run **byte for byte**.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.spec as spec_mod
+from repro.campaign import (
+    CampaignSpec,
+    build_report,
+    campaign_status,
+    load_campaign,
+    main as campaign_main,
+    report_json,
+    run_campaign,
+)
+from repro.experiments.common import policy_run_spec
+from repro.spec import SpecError
+from repro.store import ResultStore
+
+
+def small_campaign(**over) -> CampaignSpec:
+    kwargs = dict(
+        name="unit-grid",
+        description="2x2 policy/storage grid over a tiny trace",
+        specs=(policy_run_spec("optimal", n_jobs=40, trace_seed=0,
+                               name="unit-base"),),
+        axes=(
+            ("policy.name", ("optimal", "young")),
+            ("storage.mode", ("auto", "local")),
+        ),
+        store="unit.store",
+        report_path="unit.report.json",
+        workers=1,
+    )
+    kwargs.update(over)
+    return CampaignSpec(**kwargs)
+
+
+class TestCampaignSpec:
+    def test_json_round_trip(self):
+        camp = small_campaign()
+        assert CampaignSpec.from_json(camp.to_json()) == camp
+        assert CampaignSpec.from_dict(
+            json.loads(json.dumps(camp.to_dict()))
+        ) == camp
+
+    @pytest.mark.skipif(spec_mod.tomllib is None,
+                        reason="tomllib needs Python >= 3.11")
+    def test_toml_round_trip(self, tmp_path):
+        camp = small_campaign(overrides=(("execution.base_seed", 5),))
+        assert CampaignSpec.from_toml(camp.to_toml()) == camp
+        path = camp.save(tmp_path / "c.toml")
+        assert load_campaign(path) == camp
+
+    def test_save_load_json(self, tmp_path):
+        camp = small_campaign()
+        assert load_campaign(camp.save(tmp_path / "c.json")) == camp
+
+    def test_validation(self):
+        with pytest.raises(SpecError, match="at least one base spec"):
+            small_campaign(specs=())
+        with pytest.raises(SpecError, match="duplicate axis"):
+            small_campaign(axes=(("policy.name", ("a",)),
+                                 ("policy.name", ("b",))))
+        with pytest.raises(SpecError, match="no values"):
+            small_campaign(axes=(("policy.name", ()),))
+        with pytest.raises(SpecError, match="workers"):
+            small_campaign(workers=0)
+        with pytest.raises(SpecError, match="unknown CampaignSpec field"):
+            CampaignSpec.from_dict({**small_campaign().to_dict(),
+                                    "zigzag": 1})
+        with pytest.raises(SpecError, match="campaign_version"):
+            CampaignSpec.from_dict({**small_campaign().to_dict(),
+                                    "campaign_version": 99})
+
+    def test_expand_grid_order_and_overrides(self):
+        camp = small_campaign(overrides=(("execution.base_seed", 7),))
+        cells = camp.expand()
+        assert [(s.policy.name, s.storage.mode) for s in cells] == [
+            ("optimal", "auto"), ("optimal", "local"),
+            ("young", "auto"), ("young", "local"),
+        ]
+        assert all(s.execution.base_seed == 7 for s in cells)
+        # expansion and digests are deterministic
+        assert camp.cell_digests() == camp.cell_digests()
+        assert len(set(camp.cell_digests())) == 4
+        assert camp.campaign_digest() == camp.campaign_digest()
+
+    def test_multiple_base_specs_concatenate_in_order(self):
+        camp = small_campaign(specs=(
+            policy_run_spec("optimal", n_jobs=40, trace_seed=0, name="a"),
+            policy_run_spec("optimal", n_jobs=40, trace_seed=1, name="b"),
+        ))
+        cells = camp.expand()
+        assert [s.name for s in cells] == ["a"] * 4 + ["b"] * 4
+
+
+class TestRunCampaign:
+    def test_fresh_run_then_full_cache(self, tmp_path):
+        camp = small_campaign()
+        store = tmp_path / "store"
+        report1, stats1 = run_campaign(camp, store=store)
+        assert stats1["n_computed"] == 4 and stats1["n_cached"] == 0
+        assert report1["n_cells"] == 4
+        assert [c["spec_digest"] for c in report1["cells"]] == \
+            camp.cell_digests()
+        report2, stats2 = run_campaign(camp, store=store)
+        assert stats2["n_computed"] == 0 and stats2["n_cached"] == 4
+        assert report_json(report1) == report_json(report2)
+
+    def test_interrupt_and_resume_matches_fresh_run(self, tmp_path):
+        """The acceptance criterion: kill mid-grid, resume, get only the
+        missing cells recomputed and a byte-identical report."""
+        camp = small_campaign()
+        killed = ResultStore(tmp_path / "killed")
+        fresh = ResultStore(tmp_path / "fresh")
+        report_fresh, _ = run_campaign(camp, store=fresh)
+        report_a, _ = run_campaign(camp, store=killed)
+        # simulate the kill: half the grid's records vanish
+        digests = camp.cell_digests()
+        for digest in digests[::2]:
+            killed.path_for(digest).unlink()
+        status = campaign_status(camp, store=killed)
+        assert status["n_missing"] == 2 and not status["complete"]
+        report_b, stats = run_campaign(camp, store=killed)
+        assert stats["n_computed"] == 2 and stats["n_cached"] == 2
+        assert report_json(report_a) == report_json(report_b)
+        assert report_json(report_b) == report_json(report_fresh)
+
+    def test_corrupt_record_is_a_miss_and_heals(self, tmp_path):
+        camp = small_campaign()
+        store = ResultStore(tmp_path / "store")
+        run_campaign(camp, store=store)
+        digest = camp.cell_digests()[1]
+        path = store.path_for(digest)
+        path.write_text(path.read_text()[:30])
+        _, stats = run_campaign(camp, store=store)
+        assert stats["n_computed"] == 1 and stats["n_cached"] == 3
+        assert store.get(digest) is not None  # healed
+
+    def test_workers_invariant_report(self, tmp_path):
+        camp = small_campaign()
+        r1, _ = run_campaign(camp, store=tmp_path / "w1", workers=1)
+        r2, _ = run_campaign(camp, store=tmp_path / "w2", workers=2)
+        assert report_json(r1) == report_json(r2)
+
+    def test_report_cells_have_no_volatile_fields(self, tmp_path):
+        report, _ = run_campaign(small_campaign(), store=tmp_path / "s")
+        for cell in report["cells"]:
+            assert "elapsed_s" not in cell and "provenance" not in cell
+            assert cell["digest"] and cell["summary"]["n_tasks"] > 0
+
+    def test_status_counts_foreign_records(self, tmp_path):
+        from repro import api
+
+        camp = small_campaign()
+        store = ResultStore(tmp_path / "store")
+        run_campaign(camp, store=store)
+        api.run(policy_run_spec("daly", n_jobs=40, trace_seed=9),
+                store=store)
+        status = campaign_status(camp, store=store)
+        assert status["complete"] and status["foreign_records"] == 1
+        assert status["store"]["n_records"] == 5
+
+
+class TestCampaignCLI:
+    def _write(self, tmp_path, **over):
+        camp = small_campaign(**over)
+        return camp, camp.save(tmp_path / "camp.json")
+
+    def test_run_status_report_prune(self, tmp_path, capsys):
+        camp, path = self._write(tmp_path)
+        args = ["run", str(path), "--stats-out", str(tmp_path / "st.json")]
+        assert campaign_main(args) == 0
+        out = capsys.readouterr().out
+        assert "4 cell(s), 0 cached, 4 computed" in out
+        stats = json.loads((tmp_path / "st.json").read_text())
+        assert stats["n_computed"] == 4
+        report_path = tmp_path / "unit.report.json"
+        assert report_path.exists()
+        first = report_path.read_bytes()
+
+        # status: complete -> exit 0
+        assert campaign_main(["status", str(path)]) == 0
+        assert "missing 0" in capsys.readouterr().out
+
+        # rerun: all cached, byte-identical report
+        assert campaign_main(["run", str(path), "--quiet"]) == 0
+        assert "4 cached, 0 computed" in capsys.readouterr().out
+        assert report_path.read_bytes() == first
+
+        # report subcommand rebuilds identically from the store alone
+        rebuilt = tmp_path / "rebuilt.json"
+        assert campaign_main(
+            ["report", str(path), "--out", str(rebuilt)]) == 0
+        capsys.readouterr()
+        assert rebuilt.read_bytes() == first
+
+        # prune removes nothing when the store holds exactly the cells
+        assert campaign_main(["prune", str(path)]) == 0
+        assert "removed 0 foreign" in capsys.readouterr().out
+
+    def test_status_and_report_on_partial_store(self, tmp_path, capsys):
+        camp, path = self._write(tmp_path)
+        assert campaign_main(["run", str(path), "--quiet"]) == 0
+        capsys.readouterr()
+        store = ResultStore(tmp_path / "unit.store")
+        store.path_for(camp.cell_digests()[0]).unlink()
+        assert campaign_main(["status", str(path)]) == 1
+        assert "missing 1" in capsys.readouterr().out
+        assert campaign_main(["report", str(path)]) == 1
+        assert "no record" in capsys.readouterr().err
+
+    def test_store_flag_overrides_campaign_field(self, tmp_path, capsys):
+        camp, path = self._write(tmp_path)
+        other = tmp_path / "elsewhere"
+        assert campaign_main(
+            ["run", str(path), "--quiet", "--store", str(other)]) == 0
+        capsys.readouterr()
+        assert len(ResultStore(other)) == 4
+        assert not (tmp_path / "unit.store").exists()
+
+    def test_prune_drops_foreign_and_dry_run(self, tmp_path, capsys):
+        camp, path = self._write(tmp_path)
+        assert campaign_main(["run", str(path), "--quiet"]) == 0
+        store = ResultStore(tmp_path / "unit.store")
+        foreign = policy_run_spec("daly", n_jobs=40, trace_seed=3)
+        from repro import api
+
+        api.run(foreign, store=store)
+        capsys.readouterr()
+        assert campaign_main(["prune", str(path), "--dry-run"]) == 0
+        assert "would remove 1" in capsys.readouterr().out
+        assert len(store) == 5
+        assert campaign_main(["prune", str(path)]) == 0
+        assert "removed 1 foreign" in capsys.readouterr().out
+        assert len(store) == 4
+
+    def test_bad_campaign_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert campaign_main(["status", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_toplevel_cli_dispatches_campaign(self, tmp_path, capsys):
+        from repro.cli import main as toplevel
+
+        _, path = self._write(tmp_path)
+        assert toplevel(["campaign", "status", str(path)]) == 1
+        assert "missing 4" in capsys.readouterr().out
+
+    def test_example_campaign_file_loads(self):
+        if spec_mod.tomllib is None:
+            pytest.skip("tomllib needs Python >= 3.11")
+        from pathlib import Path
+
+        path = (Path(__file__).resolve().parents[1]
+                / "examples" / "specs" / "campaign-policy-grid.toml")
+        camp = load_campaign(path)
+        assert camp.name == "policy-grid"
+        assert len(camp.expand()) == 6

@@ -365,3 +365,120 @@ class TestSpecGrids:
         assert cli_main(["sweep", "--spec", str(spec_path),
                          "--axis", "policy.name=zigzag"]) == 2
         assert "unknown policy" in capsys.readouterr().err
+
+
+class TestLongestFirstScheduling:
+    """Longest-first dispatch, grid-order merge (ROADMAP sweep item)."""
+
+    def _base(self):
+        from repro.experiments.common import policy_run_spec
+
+        return policy_run_spec("optimal", n_jobs=60, trace_seed=0,
+                               name="sched-base")
+
+    def test_estimate_spec_cost_is_pure_and_monotone(self):
+        from repro.parallel.sweep import estimate_spec_cost
+
+        small = self._base()
+        big = small.evolve(**{"workload.n_jobs": 600})
+        assert estimate_spec_cost(small) == estimate_spec_cost(small)
+        assert estimate_spec_cost(big) > estimate_spec_cost(small)
+        # tier weight: the scalar reference loop outweighs the
+        # vectorized tier for the same workload
+        from repro import api
+
+        vec = api.scenario_spec("short-tasks", tier="vector")
+        sca = api.scenario_spec("short-tasks", tier="scalar")
+        assert estimate_spec_cost(sca) > estimate_spec_cost(vec)
+
+    def test_dispatch_order_longest_first_stable(self):
+        from repro.parallel.sweep import dispatch_order
+
+        assert dispatch_order([3.0, 1.0, 2.0]) == [0, 2, 1]
+        assert dispatch_order([1.0, 5.0, 1.0, 5.0]) == [1, 3, 0, 2]
+        assert dispatch_order([2.0, 2.0]) == [0, 1]  # ties by grid index
+        assert dispatch_order([]) == []
+
+    def test_merge_order_invariance(self):
+        """The pin: dispatch order is longest-first, but the report's
+        cells come back in grid order with identical digests for every
+        worker count — scheduling is invisible in the output."""
+        from repro.parallel.sweep import (
+            dispatch_order,
+            estimate_spec_cost,
+            expand_grid,
+            run_specs,
+        )
+
+        # grid order deliberately *ascending* in cost, so longest-first
+        # dispatch must permute it (last cell runs first) ...
+        specs = expand_grid(self._base(), [
+            ("workload.n_jobs", [40, 60, 90]),
+        ])
+        costs = [estimate_spec_cost(s) for s in specs]
+        assert dispatch_order(costs) == [2, 1, 0]
+        # ... and the merged report still lists cells in grid order.
+        serial = run_specs(specs, workers=1)
+        pooled = run_specs(specs, workers=2)
+        for report in (serial, pooled):
+            assert [c["spec_digest"] for c in report["points"]] == \
+                [s.spec_digest() for s in specs]
+        assert [c["digest"] for c in serial["points"]] == \
+            [c["digest"] for c in pooled["points"]]
+
+    def test_run_sweep_merges_in_grid_order(self):
+        # Mixed-size legacy point grid: big cell first in dispatch,
+        # cells still reported in build_grid order.
+        points = build_grid(["optimal"], ["auto"], [40, 80], [0])
+        report = run_sweep(points, workers=2)
+        assert [p["n_jobs"] for p in report["points"]] == [40, 80]
+        assert all(p["digest"] for p in report["points"])
+
+
+class TestSweepStore:
+    """Store-backed sweeps: cells are RunRecords, grids resume."""
+
+    def test_run_specs_store_round_trip(self, tmp_path):
+        from repro.parallel.sweep import expand_grid, run_specs
+        from repro.experiments.common import policy_run_spec
+        from repro.store import ResultStore
+
+        specs = expand_grid(
+            policy_run_spec("optimal", n_jobs=60, trace_seed=0),
+            [("policy.name", ["optimal", "young"])],
+        )
+        store = tmp_path / "store"
+        first = run_specs(specs, workers=1, store=store)
+        assert all(not c["cached"] for c in first["points"])
+        assert len(ResultStore(store)) == 2
+        second = run_specs(specs, workers=2, store=store)
+        assert all(c["cached"] for c in second["points"])
+        assert [c["digest"] for c in first["points"]] == \
+            [c["digest"] for c in second["points"]]
+
+    def test_cells_are_run_records(self):
+        from repro.parallel.sweep import run_specs
+        from repro.experiments.common import policy_run_spec
+        from repro.store import RECORD_VERSION, RunRecord
+
+        report = run_specs([policy_run_spec("optimal", n_jobs=60,
+                                            trace_seed=0)])
+        cell = dict(report["points"][0])
+        cell.pop("cached")
+        record = RunRecord.from_dict(cell)
+        assert record.record_version == RECORD_VERSION
+        assert record.provenance["workers_effective"] == 1
+        assert record.spec["execution"]["workers"] == 1
+
+    def test_legacy_point_cells_are_run_records(self, tmp_path):
+        from repro.store import ResultStore, RunRecord
+
+        point = SweepPoint(policy="optimal", storage="auto", n_jobs=60,
+                           trace_seed=3)
+        cell = run_point(point, store=tmp_path)
+        assert cell["policy"] == "optimal"  # legacy flat fields remain
+        assert cell["spec_digest"] and not cell["cached"]
+        stored = ResultStore(tmp_path).get(cell["spec_digest"])
+        assert stored.digest == cell["digest"]
+        again = run_point(point, store=tmp_path)
+        assert again["cached"] and again["digest"] == cell["digest"]

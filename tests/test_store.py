@@ -1,0 +1,260 @@
+"""Tests for the content-addressed result store (:mod:`repro.store`).
+
+The load-bearing properties: records round-trip exactly, older schema
+versions migrate on read, writes are atomic (racing writers never
+produce a torn read), and corruption is either loud (``on_corrupt=
+'raise'``) or heals as a cache miss (``'miss'``) — never silent.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.store import RECORD_VERSION, ResultStore, RunRecord, StoreError
+
+DIGEST = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+def make_record(spec_digest: str = DIGEST, **over) -> RunRecord:
+    kwargs = dict(
+        spec_digest=spec_digest,
+        name="unit",
+        tier="vector",
+        seed=7,
+        digest="e" * 64,
+        summary={"n_tasks": 8.0, "mean_wpr": 0.95},
+        extra={"workers_effective": 1.0},
+        elapsed_s=1.25,
+        spec={"spec_version": 1, "name": "unit"},
+        provenance={"code_version": "x", "workers": 1,
+                    "workers_effective": 1},
+    )
+    kwargs.update(over)
+    return RunRecord(**kwargs)
+
+
+class TestRunRecord:
+    def test_round_trip(self):
+        record = make_record()
+        assert RunRecord.from_dict(record.to_dict()) == record
+        assert RunRecord.from_dict(json.loads(record.to_json())) == record
+
+    def test_pinned_dict_drops_volatile_fields(self):
+        pinned = make_record().pinned_dict()
+        assert "elapsed_s" not in pinned and "provenance" not in pinned
+        # two executions of one spec differ only in the volatile fields
+        assert make_record(elapsed_s=9.0).pinned_dict() == pinned
+
+    def test_from_result(self):
+        from repro import api
+        from repro.store import canonical_spec_dict
+
+        result = api.run(api.scenario_spec("short-tasks"))
+        record = RunRecord.from_result(result)
+        assert record.spec_digest == result.spec.spec_digest()
+        assert record.digest == result.digest
+        assert record.summary == result.summary
+        # the snapshot is canonical w.r.t. the digest: prose and
+        # scheduling fields pinned, workers_effective in provenance
+        assert record.spec == canonical_spec_dict(result.spec)
+        assert record.spec["description"] == ""
+        assert "workers_effective" not in record.extra
+        assert record.provenance["workers_effective"] == 1
+        assert record.record_version == RECORD_VERSION
+
+    def test_record_bytes_are_worker_and_prose_invariant(self):
+        # The byte-identity contract: specs that digest-alias (differ
+        # only in workers/prose/quick) produce identical pinned records.
+        from repro import api
+
+        spec = api.scenario_spec("short-tasks", tier="vector")
+        alias = spec.evolve(**{"execution.workers": 2,
+                               "description": "other prose",
+                               "tags": ["x"]})
+        assert spec.spec_digest() == alias.spec_digest()
+        a = RunRecord.from_result(api.run(spec)).pinned_dict()
+        b = RunRecord.from_result(api.run(alias)).pinned_dict()
+        assert a == b
+
+    def test_v1_migrates_on_read(self):
+        # Version 1 is the pre-store RunResult.to_dict() report shape:
+        # no record_version marker, no provenance.
+        v1 = {
+            "spec_digest": DIGEST,
+            "name": "legacy",
+            "tier": "replay",
+            "seed": 3,
+            "digest": "f" * 64,
+            "summary": {"n_tasks": 4.0},
+            "extra": {},
+            "elapsed_s": 0.5,
+            "spec": None,
+        }
+        record = RunRecord.from_dict(v1)
+        assert record.record_version == RECORD_VERSION
+        assert record.name == "legacy"
+        assert record.provenance["migrated_from"] == 1
+
+    def test_newer_version_is_refused(self):
+        data = make_record().to_dict()
+        data["record_version"] = RECORD_VERSION + 1
+        with pytest.raises(StoreError, match="newer"):
+            RunRecord.from_dict(data)
+
+    def test_constructor_pins_current_version(self):
+        with pytest.raises(StoreError, match="current schema"):
+            make_record(record_version=1)
+
+    def test_bad_payloads_are_loud(self):
+        with pytest.raises(StoreError):
+            RunRecord.from_dict({"record_version": RECORD_VERSION})
+        with pytest.raises(StoreError, match="unknown record field"):
+            RunRecord.from_dict({**make_record().to_dict(), "bogus": 1})
+        with pytest.raises(StoreError, match="summary"):
+            RunRecord.from_dict(
+                {**make_record().to_dict(), "summary": [1, 2]}
+            )
+        with pytest.raises(StoreError):
+            RunRecord.from_dict("not a dict")
+
+
+class TestResultStore:
+    def test_put_get_contains(self, tmp_path):
+        store = ResultStore(tmp_path / "st")
+        record = make_record()
+        assert store.get(DIGEST) is None
+        assert not store.contains(DIGEST)
+        path = store.put(record)
+        assert path.exists() and DIGEST in str(path)
+        assert store.contains(DIGEST) and DIGEST in store
+        assert store.get(DIGEST) == record
+        assert len(store) == 1 and list(store.digests()) == [DIGEST]
+
+    def test_last_writer_wins(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(make_record(elapsed_s=1.0))
+        store.put(make_record(elapsed_s=2.0))
+        assert store.get(DIGEST).elapsed_s == 2.0
+        assert len(store) == 1
+
+    def test_bad_digest_key_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for bad in ("", "../evil", "a/b", "x.json"):
+            with pytest.raises(StoreError):
+                store.path_for(bad)
+
+    def test_truncated_record(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(make_record())
+        path.write_text(path.read_text()[:25])  # torn by external force
+        with pytest.raises(StoreError, match="corrupt"):
+            store.get(DIGEST)
+        assert store.get(DIGEST, on_corrupt="miss") is None
+        with pytest.raises(ValueError):
+            store.get(DIGEST, on_corrupt="whatever")
+        # recomputation heals: a fresh put replaces the torn file
+        store.put(make_record())
+        assert store.get(DIGEST) is not None
+
+    def test_renamed_record_detected(self, tmp_path):
+        # Content addressing makes a mis-keyed file detectable: a record
+        # copied under another digest's name must not be served.
+        store = ResultStore(tmp_path)
+        src = store.put(make_record())
+        dst = store.path_for(OTHER)
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        dst.write_text(src.read_text())
+        with pytest.raises(StoreError, match="claims spec_digest"):
+            store.get(OTHER)
+        assert store.get(OTHER, on_corrupt="miss") is None
+
+    def test_prune_and_stats(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(make_record())
+        store.put(make_record(spec_digest=OTHER, tier="replay"))
+        bad = store.put(make_record(spec_digest="ee" + "2" * 62))
+        bad.write_text("{")  # corrupt it
+        stats = store.stats()
+        assert stats["n_records"] == 3 and stats["n_corrupt"] == 1
+        assert stats["by_tier"] == {"replay": 1, "vector": 1}
+        assert stats["total_bytes"] > 0
+        counts = store.prune(keep={DIGEST, OTHER}, drop_corrupt=True)
+        assert counts == {"removed": 1, "kept": 2, "corrupt_removed": 0}
+        counts = store.prune(keep={DIGEST})
+        assert counts["removed"] == 1 and counts["kept"] == 1
+        assert list(store.digests()) == [DIGEST]
+
+    def test_prune_drop_corrupt_only(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(make_record())
+        bad = store.put(make_record(spec_digest=OTHER))
+        bad.write_text("nonsense")
+        counts = store.prune(drop_corrupt=True)
+        assert counts["corrupt_removed"] == 1 and counts["kept"] == 1
+
+    def test_create_false_requires_existing(self, tmp_path):
+        with pytest.raises(StoreError, match="does not exist"):
+            ResultStore(tmp_path / "nope", create=False)
+        ResultStore(tmp_path, create=False)  # exists: fine
+
+
+# ----------------------------------------------------------------------
+# Concurrency: two writers racing on one digest.
+# ----------------------------------------------------------------------
+def _race_writer(args) -> int:
+    """Hammer one digest with writer-specific payloads."""
+    root, writer_id, n_iter = args
+    store = ResultStore(root, create=False)
+    for i in range(n_iter):
+        store.put(make_record(elapsed_s=float(writer_id)))
+    return writer_id
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="the racing-writer test relies on fork for module pickling",
+)
+def test_racing_writers_never_tear(tmp_path):
+    """Atomic rename wins: a reader overlapping two racing writers
+    always sees one writer's complete record, never a prefix or an
+    interleaving."""
+    store = ResultStore(tmp_path)
+    store.put(make_record(elapsed_s=-1.0))  # pre-existing record
+    ctx = multiprocessing.get_context("fork")
+    n_iter = 150
+    with ctx.Pool(processes=2) as pool:
+        async_res = pool.map_async(
+            _race_writer, [(str(tmp_path), 1, n_iter), (str(tmp_path), 2, n_iter)]
+        )
+        seen = set()
+        while not async_res.ready():
+            record = store.get(DIGEST)  # on_corrupt="raise": torn => fail
+            assert record is not None
+            assert record.elapsed_s in (-1.0, 1.0, 2.0)
+            seen.add(record.elapsed_s)
+        assert async_res.get() == [1, 2]
+    final = store.get(DIGEST)
+    assert final.elapsed_s in (1.0, 2.0)
+    # no stray temp files survive the race
+    assert not [p for p in store.root.rglob("*.tmp")]
+
+
+def test_no_temp_files_after_failed_put(tmp_path):
+    store = ResultStore(tmp_path)
+
+    class Boom(RunRecord):
+        def to_json(self):
+            raise RuntimeError("disk on fire")
+
+    bad = Boom(spec_digest=DIGEST, name="x", tier="vector", seed=0,
+               digest=None)
+    with pytest.raises(RuntimeError, match="disk on fire"):
+        store.put(bad)
+    assert not [p for p in store.root.rglob("*")
+                if p.is_file()], "temp file leaked"
+    assert os.listdir(store.root) in ([], [DIGEST[:2]])

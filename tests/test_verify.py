@@ -322,3 +322,92 @@ class TestSupportingInfra:
         assert ks_statistic(a, a) == 0.0
         b = rng.normal(3, 1, 400)
         assert ks_statistic(a, b) > ks_threshold(400, 400)
+
+
+class TestGoldenMigration:
+    """Golden schema v2: tier sections are pinned RunRecord dicts, and
+    version-1 files keep working through migration on read."""
+
+    def test_v2_sections_are_pinned_records(self, tmp_path):
+        from repro.store import RECORD_VERSION
+        from repro.verify.golden import GOLDEN_VERSION, golden_payload
+        from repro.spec import RunSpec
+
+        result = run_scenario(get_scenario(QUICK))
+        payload = golden_payload(result)
+        assert GOLDEN_VERSION == 2 and payload["version"] == 2
+        for tier in ("scalar", "vector", "des"):
+            section = payload[tier]
+            assert section["record_version"] == RECORD_VERSION
+            assert "elapsed_s" not in section  # pinned = deterministic
+            assert "provenance" not in section
+            spec = RunSpec.from_dict(section["spec"])
+            assert spec.execution.tier == tier
+            assert spec.spec_digest() == section["spec_digest"]
+        assert payload["scalar"]["digest"]  # bit-level pin
+        # vector/des draw order is an implementation detail, not pinned
+        assert payload["vector"]["digest"] is None
+        assert payload["des"]["digest"] is None
+
+    def test_v1_file_migrates_on_read_and_passes(self, tmp_path):
+        from repro.verify.golden import golden_path, load_golden
+
+        result = run_scenario(get_scenario(QUICK))
+        tiers = result.tiers
+        v1 = {
+            "version": 1,
+            "scenario": QUICK,
+            "compare": result.scenario.compare,
+            "seed": result.seed,
+            "scalar": {"digest": tiers["scalar"].digest,
+                       "summary": tiers["scalar"].summary},
+            "vector": {"summary": tiers["vector"].summary},
+            "des": {"summary": tiers["des"].summary,
+                    "extra": tiers["des"].extra},
+        }
+        path = golden_path(QUICK, tmp_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(v1))
+        golden = load_golden(QUICK, tmp_path)
+        assert golden["version"] == 2
+        assert golden["scalar"]["digest"] == tiers["scalar"].digest
+        checks = compare_with_golden(result, golden)
+        assert all(c.passed for c in checks), \
+            [c.name for c in checks if not c.passed]
+
+    def test_verify_cli_store_writes_tier_records(self, tmp_path, capsys):
+        from repro.store import ResultStore
+        from repro.verify.cli import main as verify_main
+
+        store = tmp_path / "store"
+        assert verify_main([QUICK, "--no-golden",
+                            "--store", str(store)]) == 0
+        records = [ResultStore(store).get(d)
+                   for d in ResultStore(store).digests()]
+        assert sorted(r.tier for r in records) == ["des", "scalar", "vector"]
+        assert all(r.name == QUICK for r in records)
+        scalar = [r for r in records if r.tier == "scalar"][0]
+        assert scalar.digest is not None
+
+    def test_verify_store_slots_match_api_run_slots(self, tmp_path):
+        # The store is one shared cache: a record written by
+        # `repro verify --store` must be byte-compatible (pinned
+        # fields) with what api.run(spec, store=) writes for the same
+        # digest — otherwise mixing producers breaks campaign
+        # byte-identity.
+        from repro import api
+        from repro.store import ResultStore, RunRecord
+        from repro.verify.cli import main as verify_main
+
+        via_verify = tmp_path / "verify-store"
+        via_api = tmp_path / "api-store"
+        assert verify_main([QUICK, "--no-golden",
+                            "--store", str(via_verify)]) == 0
+        scenario = get_scenario(QUICK)
+        for tier in ("scalar", "vector", "des"):
+            api.run(scenario.to_spec(tier=tier), store=via_api)
+        a, b = ResultStore(via_verify), ResultStore(via_api)
+        digests_a = sorted(a.digests())
+        assert digests_a == sorted(b.digests())
+        for digest in digests_a:
+            assert a.get(digest).pinned_dict() == b.get(digest).pinned_dict()
