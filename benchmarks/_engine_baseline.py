@@ -1,0 +1,391 @@
+"""The PR-4 discrete-event engine, vendored as the benchmark baseline.
+
+A verbatim snapshot of ``src/repro/sim/engine.py`` as of the commit
+before the DES-tier performance overhaul (git 22f8e5e), kept so
+``run_des_bench.py`` can measure the engine speedup against the real
+predecessor instead of a remembered number.  Not part of the package —
+benchmarks only.
+"""
+
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator
+from typing import Any, Callable
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]
+
+#: Scheduling priority for "urgent" events (resource releases) so that a
+#: release at time ``t`` is observed by an acquire at the same ``t``.
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+#: Failure deliveries sort after normal events at the same timestamp, so
+#: a process registered at time ``t`` can still attach to a failed event
+#: before the failure is processed (and have the exception thrown into
+#: it, rather than surfacing as unhandled).
+LAST = 2
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the engine (e.g. double-trigger of an event)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The ``cause`` attribute carries an arbitrary user object describing
+    why the process was interrupted (for the cluster model: the failure
+    event that killed the task).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    An event starts *pending*, may be *triggered* with either a value
+    (:meth:`succeed`) or an exception (:meth:`fail`), and once processed
+    invokes its callbacks exactly once.  Events are also usable as
+    condition operands via ``&`` and ``|``.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_exc", "_triggered", "_processed")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = None
+        self._exc: BaseException | None = None
+        self._triggered = False
+        self._processed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether the callbacks have already run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event triggered with a value (not an exception)."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or raises if the event failed)."""
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # ------------------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception ``exc``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        self._triggered = True
+        self._exc = exc
+        self.env._schedule(self, LAST)
+        return self
+
+    # ------------------------------------------------------------------
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self._processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._triggered = True
+        env._schedule(self, NORMAL, delay)
+
+
+class _ConditionBase(Event):
+    """Shared machinery for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, env: "Environment", events: list[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._count = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("events from different environments")
+            if ev._processed:
+                self._check(ev)
+            else:
+                assert ev.callbacks is not None
+                ev.callbacks.append(self._check)
+
+    def _matched(self) -> bool:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _check(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        self._count += 1
+        if ev._exc is not None:
+            self.fail(ev._exc)
+        elif self._matched():
+            self.succeed({e: e._value for e in self.events if e._processed or e is ev})
+
+
+class AnyOf(_ConditionBase):
+    """Triggers when *any* operand event triggers."""
+
+    __slots__ = ()
+
+    def _matched(self) -> bool:
+        return self._count >= 1
+
+
+class AllOf(_ConditionBase):
+    """Triggers when *all* operand events have triggered."""
+
+    __slots__ = ()
+
+    def _matched(self) -> bool:
+        return self._count >= len(self.events)
+
+
+class Process(Event):
+    """A running generator; also an event that triggers on completion.
+
+    The generator may ``yield`` any :class:`Event`.  When that event is
+    processed, the generator resumes with the event's value (or the
+    event's exception is thrown into it).  Calling :meth:`interrupt`
+    throws :class:`Interrupt` into the generator at the current time.
+    """
+
+    __slots__ = ("gen", "_target", "name")
+
+    def __init__(self, env: "Environment", gen: Generator, name: str | None = None):
+        super().__init__(env)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._target: Event | None = None
+        # Bootstrap: resume the generator as soon as the sim starts.
+        init = Event(env)
+        init.succeed()
+        assert init.callbacks is not None
+        init.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not finished yet."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process (idempotent once dead)."""
+        if not self.is_alive:
+            return
+        ev = Event(self.env)
+        ev._triggered = True
+        ev._exc = Interrupt(cause)
+        # Detach from the event the process currently waits on.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        assert ev.callbacks is not None
+        ev.callbacks.append(self._resume)
+        self.env._schedule(ev, URGENT)
+
+    # ------------------------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        self.env._active = self
+        try:
+            while True:
+                if trigger._exc is None:
+                    target = self.gen.send(trigger._value)
+                else:
+                    target = self.gen.throw(trigger._exc)
+                if not isinstance(target, Event):
+                    raise SimulationError(
+                        f"process {self.name!r} yielded non-event {target!r}")
+                if target._processed:
+                    # Already fired: loop immediately with its outcome.
+                    trigger = target
+                    continue
+                self._target = target
+                assert target.callbacks is not None
+                target.callbacks.append(self._resume)
+                return
+        except StopIteration as stop:
+            self._target = None
+            self.succeed(stop.value)
+        except Interrupt:
+            # Interrupt escaped the generator: treat as normal termination
+            # with the interrupt cause as the value (a killed task).
+            self._target = None
+            self.succeed(None)
+        except BaseException as exc:
+            self._target = None
+            self.fail(exc)
+        finally:
+            self.env._active = None
+
+
+class Environment:
+    """The simulation clock and event loop.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of :attr:`now`.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active: Process | None = None
+        self._processed_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total events processed so far.
+
+        Two runs of the same model with the same seed must process the
+        same number of events in the same order; the verification
+        subsystem uses this count as a cheap whole-run determinism probe.
+        """
+        return self._processed_count
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently being resumed, if any."""
+        return self._active
+
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    # -- factories ------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing ``delay`` from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str | None = None) -> Process:
+        """Register a generator as a new :class:`Process`."""
+        return Process(self, gen, name)
+
+    def any_of(self, events: list[Event]) -> AnyOf:
+        """Condition event triggering on the first of ``events``."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: list[Event]) -> AllOf:
+        """Condition event triggering once all ``events`` have fired."""
+        return AllOf(self, events)
+
+    # -- event loop ------------------------------------------------------
+    def step(self) -> None:
+        """Process exactly one event from the queue."""
+        if not self._queue:
+            raise SimulationError("empty schedule")
+        t, _prio, _seq, event = heapq.heappop(self._queue)
+        if t < self._now:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        self._now = t
+        self._processed_count += 1
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        if callbacks:
+            for cb in callbacks:
+                cb(event)
+        elif event._exc is not None and not isinstance(event._exc, Interrupt):
+            # A failed event nobody waits on: surface the error.
+            raise event._exc
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number
+        (run until that time) or an :class:`Event` (run until it is
+        processed, returning its value).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            stop = until
+            while not stop._processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before `until` triggered")
+                self.step()
+            return stop.value
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"until={horizon} lies in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

@@ -1,0 +1,288 @@
+"""Record the DES-tier perf trajectory: engine fast paths + sharding.
+
+Three sections, written as ``BENCH_des.json`` (the committed perf
+record the CI regression guard compares against):
+
+* ``event_loop`` — the engine microbenchmark (1k processes x 100
+  timeouts) on the vendored PR-4 baseline engine
+  (``_engine_baseline.py``) vs the current engine in both wait modes:
+  ``yield env.timeout(d)`` (object mode) and ``yield d`` (raw mode,
+  what the cluster executor uses).  The headline ``speedup_raw`` is
+  baseline-vs-raw — same simulated workload, each engine through its
+  native wait API.
+* ``sharding`` — a multi-host contention-free scenario batch through
+  the unsharded event loop vs host-group sharding at workers 1/2/4,
+  with per-task alignment and digest worker-invariance asserted.  Two
+  shapes: ``queue-deep`` (tasks >> VMs, where the unsharded
+  scheduler's O(queue x hosts) scans dominate) and
+  ``capacity-matched`` (tasks < VMs, no queue — the modest case).
+  On a single-core host the speedup comes from the decomposition
+  itself (smaller heaps, shorter scheduler scans); extra workers add
+  on top wherever there are cores.
+* ``sweep_fallback`` — the overhead-aware dispatch check: a small grid
+  with ``workers=2`` must not be slower than serial (it falls back,
+  ``workers_effective`` records the choice).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_des_bench.py [--out PATH]
+        [--repeats K] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro._version import __version__
+from repro.des.sharding import run_des_sharded
+from repro.verify.runner import run_des_unsharded
+from repro.verify.scenarios import FailureLaw, Scenario, build_workload
+
+#: two ticker shapes: *wide* (many concurrent processes — heap
+#: comparisons at depth log2(1000) are a big shared cost both engines
+#: pay) and *narrow* (few processes — per-event engine overhead, the
+#: thing this PR optimized, dominates).
+TICKER_SHAPES = {
+    "wide-1000x100": (1000, 100),
+    "narrow-20x5000": (20, 5000),
+}
+
+
+def _best_of(repeats, fn):
+    times = []
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - t0)
+    return min(times), result
+
+
+def _best_of_interleaved(repeats, fns: dict):
+    """Best-of timing with the candidates interleaved round-robin.
+
+    Consecutive same-candidate repeats absorb CPU-frequency drift into
+    one candidate's number; alternating rounds spread it evenly, which
+    matters on small shared hosts.  GC stays *enabled* during the timed
+    region — the DES tier runs with it on, and allocation pressure
+    (garbage Timeouts vs raw wakes) is part of what the engines are
+    being compared on — but each run starts from a collected heap so no
+    candidate pays for another's garbage.
+    """
+    import gc
+
+    times = {name: [] for name in fns}
+    for _ in range(repeats):
+        for name, fn in fns.items():
+            gc.collect()
+            t0 = time.perf_counter()
+            fn()
+            times[name].append(time.perf_counter() - t0)
+    return {name: min(vals) for name, vals in times.items()}
+
+
+# ----------------------------------------------------------------------
+# Event-loop microbenchmark.
+# ----------------------------------------------------------------------
+def _ticker_run(env_cls, raw: bool, procs: int, ticks: int) -> float:
+    env = env_cls()
+    if raw:
+        def ticker():
+            for _ in range(ticks):
+                yield 1.0
+    else:
+        def ticker():
+            for _ in range(ticks):
+                yield env.timeout(1.0)
+    for _ in range(procs):
+        env.process(ticker())
+    env.run()
+    return env.now
+
+
+def bench_event_loop(repeats: int) -> dict:
+    import _engine_baseline as baseline_engine
+
+    from repro.sim import engine as current_engine
+
+    out = {}
+    for label, (procs, ticks) in TICKER_SHAPES.items():
+        assert _ticker_run(baseline_engine.Environment, False,
+                           procs, ticks) == float(ticks)
+        times = _best_of_interleaved(repeats, {
+            "base": lambda: _ticker_run(
+                baseline_engine.Environment, False, procs, ticks),
+            "obj": lambda: _ticker_run(
+                current_engine.Environment, False, procs, ticks),
+            "raw": lambda: _ticker_run(
+                current_engine.Environment, True, procs, ticks),
+        })
+        t_base, t_obj, t_raw = times["base"], times["obj"], times["raw"]
+        n_events = procs * (ticks + 2)
+        out[label] = {
+            "shape": f"{procs} procs x {ticks} ticks ({n_events} events)",
+            "baseline_pr4_s": round(t_base, 4),
+            "current_timeout_mode_s": round(t_obj, 4),
+            "current_raw_mode_s": round(t_raw, 4),
+            "speedup_timeout_mode": round(t_base / t_obj, 3),
+            "speedup_raw": round(t_base / t_raw, 3),
+            "raw_mode_events_per_s": round(n_events / t_raw),
+        }
+    return out
+
+
+def bench_timeout_batch(repeats: int) -> dict:
+    """Batched homogeneous scheduling vs the one-at-a-time loop."""
+    from repro.sim.engine import Environment
+
+    n = 100_000
+    delays = [float(i % 97) for i in range(n)]
+
+    def loop():
+        env = Environment()
+        for d in delays:
+            env.timeout(d)
+        return env
+
+    def batch():
+        env = Environment()
+        env.timeout_batch(delays)
+        return env
+
+    times = _best_of_interleaved(repeats, {"loop": loop, "batch": batch})
+    t_loop, t_batch = times["loop"], times["batch"]
+    return {
+        "shape": f"schedule {n} timeouts",
+        "loop_s": round(t_loop, 4),
+        "batch_s": round(t_batch, 4),
+        "speedup_batch": round(t_loop / t_batch, 3),
+    }
+
+
+# ----------------------------------------------------------------------
+# DES-tier sharding.
+# ----------------------------------------------------------------------
+def _bench_scenario(name: str, n_tasks: int, n_hosts: int) -> Scenario:
+    return Scenario(
+        name=name,
+        description="DES benchmark scenario (not registered)",
+        axes=("bench",),
+        laws=(FailureLaw(priority=5, family="exponential", mean=600.0),),
+        n_tasks=n_tasks,
+        n_hosts=n_hosts,
+        vms_per_host=7,
+        storage="local",
+    )
+
+
+def bench_sharding(repeats: int, quick: bool) -> dict:
+    shapes = {
+        "queue-deep": _bench_scenario(
+            "bench-des-queue-deep",
+            n_tasks=200 if quick else 600,
+            n_hosts=16,
+        ),
+        "capacity-matched": _bench_scenario(
+            "bench-des-capacity-matched",
+            n_tasks=150 if quick else 200,
+            n_hosts=32,
+        ),
+    }
+    out = {}
+    for label, spec in shapes.items():
+        workload = build_workload(spec)
+        t_un, un = _best_of(repeats, lambda: run_des_unsharded(workload))
+        by_workers = {}
+        digests = set()
+        sharded = None
+        for w in (1, 2, 4):
+            t_sh, sharded = _best_of(
+                repeats, lambda w=w: run_des_sharded(workload, workers=w))
+            by_workers[str(w)] = round(t_sh, 4)
+            digests.add(sharded.digest)
+        assert len(digests) == 1, "sharded digests differ across workers!"
+        aligned = (
+            np.array_equal(un.n_failures, sharded.n_failures)
+            and np.array_equal(un.completed, sharded.completed)
+            and np.allclose(un.wallclock, sharded.wallclock,
+                            rtol=1e-7, atol=1e-5, equal_nan=True)
+        )
+        assert aligned, f"{label}: sharded != unsharded per task!"
+        t_w4 = by_workers["4"]
+        out[label] = {
+            "n_tasks": spec.n_tasks,
+            "n_hosts": spec.n_hosts,
+            "n_shards": int(sharded.extra["n_shards"]),
+            "unsharded_s": round(t_un, 4),
+            "sharded_s_by_workers": by_workers,
+            "speedup_w1_vs_unsharded": round(t_un / by_workers["1"], 2),
+            "speedup_w4_vs_unsharded": round(t_un / t_w4, 2),
+            "digest_worker_invariant": True,
+            "per_task_aligned_with_unsharded": True,
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Overhead-aware sweep dispatch.
+# ----------------------------------------------------------------------
+def bench_sweep_fallback(repeats: int) -> dict:
+    from repro.parallel.sweep import build_grid, run_sweep
+
+    points = build_grid(["optimal", "young"], ["auto", "local"], [300], [0])
+    t_serial, rep1 = _best_of(repeats, lambda: run_sweep(points, workers=1))
+    t_w2, rep2 = _best_of(repeats, lambda: run_sweep(points, workers=2))
+    assert [p["digest"] for p in rep1["points"]] == \
+           [p["digest"] for p in rep2["points"]]
+    return {
+        "grid": "2 policies x 2 storage x 300 jobs",
+        "n_points": len(points),
+        "serial_s": round(t_serial, 4),
+        "workers2_s": round(t_w2, 4),
+        "workers2_effective": rep2["workers_effective"],
+        "workers2_not_slower": bool(t_w2 <= t_serial * 1.10),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_des.json")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sharding shapes (CI budget)")
+    args = parser.parse_args(argv)
+
+    payload = {
+        "benchmark": "des-tier-engine-and-sharding",
+        "version": __version__,
+        "repeats": args.repeats,
+        "quick": args.quick,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "event_loop": bench_event_loop(args.repeats),
+        "timeout_batch": bench_timeout_batch(args.repeats),
+        "sharding": bench_sharding(args.repeats, args.quick),
+        "sweep_fallback": bench_sweep_fallback(args.repeats),
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"[written to {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

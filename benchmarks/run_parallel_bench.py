@@ -89,8 +89,58 @@ def bench_hot_path(n_tasks: int, repeats: int) -> dict:
     return out
 
 
+def bench_autotune(n_tasks: int, repeats: int) -> dict:
+    """The chunk-size tradeoff behind ``auto_chunk_size``.
+
+    Per-task-law batches pay the per-block law regrouping once per
+    chunk, so large chunks win; catalog batches are insensitive.  The
+    measured grid is the calibration record for
+    :func:`repro.parallel.runner.auto_chunk_size` (law-heavy batches
+    cap at AUTO_MIN_CHUNKS chunks).
+    """
+    from repro.parallel.runner import (
+        AUTO_MIN_CHUNKS,
+        DEFAULT_CHUNK_SIZE,
+        auto_chunk_size,
+    )
+
+    rng = np.random.default_rng(0)
+    te = rng.uniform(100, 2000, n_tasks)
+    x = np.maximum(1, (np.sqrt(te) / 3).astype(np.int64))
+    c = rng.uniform(0.1, 2.0, n_tasks)
+    r = rng.uniform(0.5, 3.0, n_tasks)
+    dists = {i: Exponential(1.0 / s)
+             for i, s in enumerate(rng.uniform(100, 1000, 2000))}
+    ids = np.arange(n_tasks) % 2000
+
+    sizes = sorted({DEFAULT_CHUNK_SIZE, -(-n_tasks // 4),
+                    -(-n_tasks // 2), n_tasks})
+    by_chunk = {}
+    for cs in sizes:
+        t, _ = _best_of(repeats, lambda cs=cs: simulate_tasks_sharded(
+            te, x, c, r, ids, dists, seed=42, workers=1, chunk_size=cs))
+        by_chunk[str(cs)] = round(t, 4)
+    auto = auto_chunk_size(n_tasks, len(dists))
+    t_auto, _ = _best_of(repeats, lambda: simulate_tasks_sharded(
+        te, x, c, r, ids, dists, seed=42, workers=1))
+    return {
+        "workload": f"per-task-laws ({len(dists)} laws, {n_tasks} tasks)",
+        "serial_s_by_chunk_size": by_chunk,
+        "auto_chunk_size": auto,
+        "auto_min_chunks": AUTO_MIN_CHUNKS,
+        "auto_s": round(t_auto, 4),
+    }
+
+
 def bench_sweep(repeats: int) -> dict:
-    """A small policy × storage grid through the sweep runner."""
+    """A small policy × storage grid through the sweep runner.
+
+    Small grids fall below SERIAL_FALLBACK_COST and run serially even
+    at workers=2 (the motivating pathology: pool dispatch used to make
+    them *slower* than serial).
+    """
+    from repro.parallel.sweep import SERIAL_FALLBACK_COST, estimate_spec_cost
+
     points = build_grid(["optimal", "young"], ["auto", "local"], [300], [0])
     t_serial, rep1 = _best_of(repeats, lambda: run_sweep(points, workers=1))
     t_pool, rep2 = _best_of(repeats, lambda: run_sweep(points, workers=2))
@@ -100,8 +150,12 @@ def bench_sweep(repeats: int) -> dict:
     return {
         "grid": "2 policies x 2 storage x 300 jobs",
         "n_points": len(points),
+        "estimated_cost": round(sum(
+            estimate_spec_cost(p.to_spec()) for p in points)),
+        "serial_fallback_threshold": SERIAL_FALLBACK_COST,
         "serial_s": round(t_serial, 4),
         "workers2_s": round(t_pool, 4),
+        "workers2_effective": rep2["workers_effective"],
         "digests_worker_invariant": True,
     }
 
@@ -125,6 +179,7 @@ def main(argv: list[str] | None = None) -> int:
             "cpu_count": os.cpu_count(),
         },
         "hot_path": bench_hot_path(args.n_tasks, args.repeats),
+        "autotune": bench_autotune(args.n_tasks, args.repeats),
         "sweep": bench_sweep(args.repeats),
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")

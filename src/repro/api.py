@@ -283,23 +283,23 @@ class RunResult:
         }
 
 
-#: process-wide latch for the DES-tier workers warning: the situation
-#: is a property of the build (DES sharding has not landed), so one
-#: warning per process documents it without drowning sweeps in noise.
-_DES_WORKERS_WARNED = False
+#: process-wide latch for the DES-tier shard-refusal warning: one
+#: warning per process documents the situation without drowning sweeps
+#: in noise; every refused result also records ``shard_refused`` in
+#: ``extra``.
+_DES_REFUSAL_WARNED = False
 
 
-def _warn_des_workers(spec: RunSpec) -> None:
-    global _DES_WORKERS_WARNED
-    if _DES_WORKERS_WARNED:
+def _warn_des_refused(spec: RunSpec, reason: str) -> None:
+    global _DES_REFUSAL_WARNED
+    if _DES_REFUSAL_WARNED:
         return
-    _DES_WORKERS_WARNED = True
+    _DES_REFUSAL_WARNED = True
     warnings.warn(
         f"{spec.name}: execution.workers={spec.execution.workers} has no "
-        "effect on the 'des' tier — the discrete-event simulation runs a "
-        "single event loop until DES sharding lands (see ROADMAP.md); "
-        "continuing with workers_effective=1 (recorded in the result, "
-        "warned once per process)",
+        f"effect on this 'des' run — it refuses to shard: {reason}; "
+        "continuing with a single event loop, workers_effective=1 and "
+        "shard_refused=1 recorded in the result (warned once per process)",
         UserWarning,
         stacklevel=3,
     )
@@ -332,10 +332,16 @@ def run(
     rejected together with ``store`` because they change the
     computation without changing the digest.
 
-    ``execution.workers`` fans out the vector and replay tiers; the
-    scalar reference loop and the DES tier are single-stream, so they
-    record ``workers_effective=1`` in ``extra`` (the DES tier also
-    warns once per process when workers were requested).
+    ``execution.workers`` fans out the vector and replay tiers, and —
+    for contention-free scenarios (local storage, no host crashes) —
+    the DES tier, which decomposes by host group through
+    :mod:`repro.des.sharding` (the shard plan is a pure function of
+    the spec, so every field of the result is worker-count invariant).
+    The scalar reference loop stays single-stream
+    (``workers_effective=1`` in ``extra``), and DES runs whose physics
+    cannot decompose (shared storage, host crashes) refuse to shard:
+    they record ``shard_refused=1`` in ``extra`` and warn once per
+    process when workers were requested.
     """
     if store is not None:
         if trace is not None or catalog is not None:
@@ -393,16 +399,35 @@ def _execute(spec: RunSpec, *, trace=None, catalog=None) -> RunResult:
     if tier == "scalar":
         tr = run_scalar(workload)
         workers_effective = 1
+        shard_refused = False
     elif tier == "vector":
         tr = run_vector(workload, workers=workers)
         workers_effective = workers
+        shard_refused = False
     else:  # "des" — the spec validated tier membership already
-        if workers > 1:
-            _warn_des_workers(spec)
-        tr = run_des(workload)
-        workers_effective = 1
+        tr = run_des(workload, workers=workers)
+        if "n_shards" in tr.extra:
+            # Sharded by host group; the plan (and therefore the whole
+            # result, extra included) is worker-count invariant.
+            workers_effective = min(workers, int(tr.extra["n_shards"]))
+            shard_refused = False
+        else:
+            # run_des kept the single event loop — either the config
+            # refuses to shard, or the plan degenerated (empty trace).
+            workers_effective = 1
+            shard_refused = workers > 1
+            if shard_refused:
+                from repro.des.sharding import shard_refusal_reason
+
+                _warn_des_refused(
+                    spec,
+                    shard_refusal_reason(workload.cluster)
+                    or "the workload has nothing to decompose",
+                )
     extra = {k: float(v) for k, v in tr.extra.items()}
     extra["workers_effective"] = float(workers_effective)
+    if shard_refused:
+        extra["shard_refused"] = 1.0
     return RunResult(
         spec=spec,
         tier=tier,

@@ -86,10 +86,13 @@ class TaskExecutor:
         self.record = record
 
     # ------------------------------------------------------------------
+    # The waits below yield bare floats (the engine's allocation-free
+    # raw-wake path) instead of Timeout objects; the scheduling order
+    # and event counts are identical — see the engine module docstring.
     def _watchdog(self, victim: Process, delay: float):
         """Interrupt ``victim`` after ``delay`` (cancelled by interrupt)."""
         try:
-            yield self.env.timeout(delay)
+            yield float(delay)
             victim.interrupt("task-failure")
         except Interrupt:
             return
@@ -104,7 +107,7 @@ class TaskExecutor:
         rec.submit_time = env.now
 
         x = self.policy.interval_count(self.profile)
-        length = task.te / x
+        length = float(task.te / x)
         committed = 0  # completed intervals whose checkpoint is durable
         restart_due = 0.0  # restart cost owed at the next placement
 
@@ -116,10 +119,10 @@ class TaskExecutor:
             rec.queue_wait += env.now - wait_from
             if rec.first_start_time is None:
                 rec.first_start_time = env.now
-            yield env.timeout(cfg.placement_overhead)
+            yield cfg.placement_overhead
             if restart_due > 0.0:
                 rec.restart_overhead += restart_due
-                yield env.timeout(restart_due)
+                yield restart_due
                 restart_due = 0.0
 
             # Register for host-failure interrupts only while actually
@@ -139,13 +142,13 @@ class TaskExecutor:
                 while committed < x:
                     if committed == x - 1:
                         # Final interval: run to completion, no checkpoint.
-                        yield env.timeout(length)
+                        yield length
                         committed = x
                         break
-                    yield env.timeout(length)
+                    yield length
                     cost, token = device.begin_checkpoint(task.mem_mb)
                     try:
-                        yield env.timeout(cost)
+                        yield cost
                     finally:
                         device.end_checkpoint(token)
                     committed += 1
@@ -180,7 +183,7 @@ class TaskExecutor:
                     rec.completed = False
                     rec.storage_target = self.migration_type
                     return rec
-                yield env.timeout(cfg.failure_detection_delay)
+                yield cfg.failure_detection_delay
                 restart_due = self.blcr.restart_cost(self.migration_type)
 
         rec.finish_time = env.now

@@ -61,7 +61,13 @@ class CloudPlatform:
     # ------------------------------------------------------------------
     def _build(self):
         cfg = self.config
-        env = Environment()
+        # Contention-free deployments (per-host ramdisk checkpoints, no
+        # host-crash monitors) have no shared resource coupling
+        # concurrently running tasks, so the engine's no-contention
+        # mode applies: fan-out joins skip condition-event bookkeeping.
+        env = Environment(
+            no_contention=(cfg.storage == "local" and cfg.host_mtbf is None)
+        )
         hosts: list[PhysicalHost] = []
         vm_id = 0
         for h in range(cfg.n_hosts):
@@ -191,7 +197,7 @@ class CloudPlatform:
             )
 
         def job_process(job: Job, jrec: JobRecord):
-            yield env.timeout(max(0.0, job.submit_time - env.now))
+            yield max(0.0, job.submit_time - env.now)
             if job.job_type is JobType.SEQUENTIAL:
                 for task in job.tasks:
                     rec = TaskRecord(
@@ -217,21 +223,29 @@ class CloudPlatform:
                     jrec.tasks.append(rec)
                     ex = make_executor(task, rec)
                     procs.append(env.process(ex.run(), name=f"task-{task.task_id}"))
-                yield env.all_of(procs)
+                if env.no_contention:
+                    # A completed Process stays yieldable, so joining
+                    # the fan-out one process at a time observes the
+                    # same completion instant as an AllOf — without the
+                    # condition event or its per-operand callbacks.
+                    for proc in procs:
+                        yield proc
+                else:
+                    yield env.all_of(procs)
 
         def host_lifecycle(host, mtbf: float, repair: float, hrng):
             """§2 liveness model: the host crashes at exponential times,
             killing every task running on its VMs; after repair it
             rejoins and queued work can use it again."""
             while True:
-                yield env.timeout(float(hrng.exponential(mtbf)))
+                yield float(hrng.exponential(mtbf))
                 host.up = False
                 host.n_crashes += 1
                 for vm in host.vms:
                     proc = vm.current_process
                     if vm.busy and proc is not None and proc.is_alive:
                         proc.interrupt("host-failure")
-                yield env.timeout(repair)
+                yield float(repair)
                 host.up = True
                 scheduler.notify_capacity_change()
 

@@ -1,0 +1,18 @@
+"""Discrete-event-tier scaling: host-group sharding of cluster runs.
+
+See :mod:`repro.des.sharding` for the decomposition contract.
+"""
+
+from repro.des.sharding import (
+    ShardingError,
+    plan_host_groups,
+    run_des_sharded,
+    shard_refusal_reason,
+)
+
+__all__ = [
+    "ShardingError",
+    "plan_host_groups",
+    "run_des_sharded",
+    "shard_refusal_reason",
+]

@@ -27,6 +27,7 @@ chunk size.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 from collections.abc import Sequence
@@ -42,10 +43,15 @@ from repro.core.simulate import (
 )
 
 __all__ = [
+    "AUTO_LAW_HEAVY",
+    "AUTO_MIN_CHUNKS",
     "DEFAULT_CHUNK_SIZE",
+    "auto_chunk_size",
     "default_workers",
+    "get_pool",
     "merge_results",
     "plan_chunks",
+    "shutdown_pool",
     "simulate_tasks_replay_sharded",
     "simulate_tasks_scaled_sharded",
     "simulate_tasks_sharded",
@@ -58,6 +64,38 @@ __all__ = [
 #: that a 100k-task batch still fans out over a multi-core host.
 DEFAULT_CHUNK_SIZE = 32768
 
+#: Distinct-law count above which a batch counts as *law-heavy* for
+#: :func:`auto_chunk_size` (per-task frailty workloads have one law per
+#: task; catalog workloads have one per priority, far below this).
+AUTO_LAW_HEAVY = 64
+
+#: Minimum chunk count :func:`auto_chunk_size` preserves for law-heavy
+#: batches: larger chunks amortize the per-chunk-per-block law
+#: regrouping (the dominant overhead — BENCH_parallel.json's autotune
+#: section measures 0.87 s at 7 chunks vs 0.69 s at 4 vs 0.53 s at 1
+#: on a 200k-task per-task-law batch), while 4 chunks keep the batch
+#: shardable over the worker counts the sweeps use.
+AUTO_MIN_CHUNKS = 4
+
+
+def auto_chunk_size(n_tasks: int, n_laws: int) -> int:
+    """The default chunk size for a batch of ``n_tasks`` over ``n_laws``.
+
+    A pure function of the batch shape — like :func:`plan_chunks`, it
+    must never depend on worker count, or digests would stop being
+    worker-invariant.  Catalog-style batches (few laws) stay at
+    :data:`DEFAULT_CHUNK_SIZE` — they are insensitive to chunking.
+    Law-heavy batches (per-task frailty laws) pay the per-block law
+    regrouping once per chunk, so the plan caps at
+    :data:`AUTO_MIN_CHUNKS` chunks.  Calibrated against the autotune
+    section of ``BENCH_parallel.json``.
+    """
+    if n_tasks < 0:
+        raise ValueError(f"n_tasks must be >= 0, got {n_tasks}")
+    if n_laws <= AUTO_LAW_HEAVY:
+        return DEFAULT_CHUNK_SIZE
+    return max(DEFAULT_CHUNK_SIZE, -(-n_tasks // AUTO_MIN_CHUNKS))
+
 #: Start method: ``fork`` where the platform offers it (cheap, no
 #: re-import), ``spawn`` otherwise.
 _START_METHOD = (
@@ -68,6 +106,54 @@ _START_METHOD = (
 def default_workers() -> int:
     """A sensible worker count for this host (``os.cpu_count()``)."""
     return max(1, os.cpu_count() or 1)
+
+
+# ----------------------------------------------------------------------
+# The persistent worker pool.  Spawning a pool per call dominated small
+# batches (BENCH_parallel.json: a 4-cell sweep was *slower* on 2 workers
+# than serial); one process-wide pool, grown on demand and reused across
+# every sweep/campaign/batch call, pays the spawn cost once per process.
+# ----------------------------------------------------------------------
+_POOL: "multiprocessing.pool.Pool | None" = None
+_POOL_PROCS = 0
+
+
+def get_pool(n_procs: int) -> "multiprocessing.pool.Pool":
+    """The shared process pool, (re)created only when it must grow.
+
+    A pool larger than a call's job count is harmless (idle workers
+    sleep), so callers simply request their worker count and share
+    whatever size is already running.  Never call from inside a pool
+    worker — daemonic processes cannot have children (the serial
+    fallback in :func:`_execute` guarantees workers never need one).
+    """
+    global _POOL, _POOL_PROCS
+    if n_procs < 1:
+        raise ValueError(f"n_procs must be >= 1, got {n_procs}")
+    if _POOL is None or _POOL_PROCS < n_procs:
+        shutdown_pool()
+        ctx = multiprocessing.get_context(_START_METHOD)
+        _POOL = ctx.Pool(processes=n_procs)
+        _POOL_PROCS = n_procs
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared pool (idempotent; re-created on next use).
+
+    Registered via :mod:`atexit`; also the reset hook for tests that
+    monkeypatch worker-visible state under the ``fork`` start method
+    (forked workers snapshot the parent at pool creation).
+    """
+    global _POOL, _POOL_PROCS
+    if _POOL is not None:
+        _POOL.terminate()
+        _POOL.join()
+        _POOL = None
+        _POOL_PROCS = 0
+
+
+atexit.register(shutdown_pool)
 
 
 def plan_chunks(n_tasks: int, chunk_size: int = DEFAULT_CHUNK_SIZE) -> list[slice]:
@@ -116,7 +202,7 @@ def merge_results(parts: Sequence[SimulationResult]) -> SimulationResult:
 # ----------------------------------------------------------------------
 # Chunk workers (module-level so they pickle under any start method).
 # ----------------------------------------------------------------------
-def _run_chunk(job: tuple[str, dict]) -> SimulationResult:
+def _run_chunk(job: tuple[str, dict]):
     """Execute one chunk job: ``(mode, kwargs)``."""
     mode, kwargs = job
     if mode == "redraw":
@@ -131,19 +217,24 @@ def _run_chunk(job: tuple[str, dict]) -> SimulationResult:
         )
     if mode == "replay":
         return simulate_tasks_replay(**kwargs)
+    if mode == "des":
+        # One host-group shard of a DES run (see repro.des.sharding).
+        # Imported lazily: the DES stack is heavy and chunk workers for
+        # the vectorized modes never need it.
+        from repro.des.sharding import run_shard
+
+        return run_shard(kwargs)
     raise ValueError(f"unknown chunk mode {mode!r}")
 
 
-def _execute(jobs: list[tuple[str, dict]], workers: int) -> list[SimulationResult]:
-    """Run chunk jobs serially or on a process pool, preserving order."""
+def _execute(jobs: list[tuple[str, dict]], workers: int) -> list:
+    """Run chunk jobs serially or on the shared pool, preserving order."""
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     n_procs = min(workers, len(jobs))
     if n_procs <= 1:
         return [_run_chunk(job) for job in jobs]
-    ctx = multiprocessing.get_context(_START_METHOD)
-    with ctx.Pool(processes=n_procs) as pool:
-        return pool.map(_run_chunk, jobs)
+    return get_pool(n_procs).map(_run_chunk, jobs)
 
 
 # ----------------------------------------------------------------------
@@ -163,7 +254,7 @@ def simulate_tasks_sharded(
     seed,
     *,
     workers: int = 1,
-    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_size: "int | None" = None,
     restart_delay: float = 0.0,
     max_segments: int = 100_000,
     block_rounds: int = DEFAULT_BLOCK_ROUNDS,
@@ -173,7 +264,10 @@ def simulate_tasks_sharded(
     ``seed`` is SeedSequence entropy, not a Generator: the runner owns
     stream construction so that chunk streams can be spawned
     deterministically.  See the module docstring for the determinism
-    contract.
+    contract.  ``chunk_size=None`` (default) picks
+    :func:`auto_chunk_size` from the batch shape — still a pure
+    function of the inputs, so the digest is as reproducible as with
+    an explicit size.
     """
     te_a, x_a, c_a, r_a, d_a = _broadcast(
         np.asarray(te, dtype=float),
@@ -182,6 +276,8 @@ def simulate_tasks_sharded(
         np.asarray(restart_cost, dtype=float),
         np.asarray(dist_ids),
     )
+    if chunk_size is None:
+        chunk_size = auto_chunk_size(te_a.size, len(distributions))
     chunks = plan_chunks(te_a.size, chunk_size)
     if not chunks:
         return simulate_tasks_blocked(
@@ -223,12 +319,17 @@ def simulate_tasks_scaled_sharded(
     seed,
     *,
     workers: int = 1,
-    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_size: "int | None" = None,
     restart_delay: float = 0.0,
     max_segments: int = 100_000,
     block_rounds: int = DEFAULT_BLOCK_ROUNDS,
 ) -> SimulationResult:
-    """Sharded per-task-exponential-scale Monte-Carlo (frailty redraw)."""
+    """Sharded per-task-exponential-scale Monte-Carlo (frailty redraw).
+
+    ``chunk_size=None`` autotunes like a law-heavy batch: every task
+    carries its own scale, the shape :func:`auto_chunk_size` gives
+    large chunks.
+    """
     te_a, x_a, c_a, r_a, s_a = _broadcast(
         np.asarray(te, dtype=float),
         np.asarray(intervals, dtype=np.int64),
@@ -236,6 +337,8 @@ def simulate_tasks_scaled_sharded(
         np.asarray(restart_cost, dtype=float),
         np.asarray(interval_scale, dtype=float),
     )
+    if chunk_size is None:
+        chunk_size = auto_chunk_size(te_a.size, te_a.size)
     chunks = plan_chunks(te_a.size, chunk_size)
     if not chunks:
         return simulate_tasks_scaled(
@@ -268,7 +371,7 @@ def simulate_tasks_replay_sharded(
     interval_matrix,
     *,
     workers: int = 1,
-    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_size: "int | None" = None,
     restart_delay: float = 0.0,
 ) -> SimulationResult:
     """Sharded trace-replay simulation.
@@ -276,7 +379,8 @@ def simulate_tasks_replay_sharded(
     Replay consumes no randomness, so the sharded result is bit-for-bit
     identical to the unsharded :func:`simulate_tasks_replay` for every
     ``(workers, chunk_size)`` combination — chunking here is purely a
-    parallel speedup.
+    parallel speedup; ``chunk_size=None`` keeps the insensitive
+    :data:`DEFAULT_CHUNK_SIZE`.
     """
     mat = np.asarray(interval_matrix, dtype=float)
     te_a, x_a, c_a, r_a = _broadcast(
@@ -290,6 +394,8 @@ def simulate_tasks_replay_sharded(
             f"interval_matrix must be (n_tasks, max_failures); got {mat.shape} "
             f"for {te_a.size} tasks"
         )
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK_SIZE
     chunks = plan_chunks(te_a.size, chunk_size)
     if not chunks:
         return simulate_tasks_replay(

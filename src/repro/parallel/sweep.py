@@ -55,20 +55,21 @@ from __future__ import annotations
 
 import argparse
 import json
-import multiprocessing
 import sys
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
-from repro.parallel.runner import _START_METHOD, default_workers
+from repro.parallel.runner import default_workers, get_pool
 from repro.spec import FAILURE_MODES, POLICY_NAMES, RunSpec, SpecError
 from repro.store import ResultStore, RunRecord
 
 __all__ = [
+    "SERIAL_FALLBACK_COST",
     "SweepPoint",
     "build_grid",
     "dispatch_order",
+    "effective_workers",
     "estimate_spec_cost",
     "expand_grid",
     "main",
@@ -201,6 +202,34 @@ def estimate_spec_cost(spec: RunSpec) -> float:
     return size * _TIER_COST[spec.execution.tier]
 
 
+#: Estimated-cost floor below which a grid runs serially even when
+#: workers were requested.  Pool dispatch (pickling cells, IPC, and —
+#: on first use — spawning the persistent pool) costs tens of
+#: milliseconds, so a batch worth well under a second of compute is
+#: faster serial: ``BENCH_parallel.json`` records the motivating
+#: measurement (a 4-cell replay grid, estimated cost ~7200, ran 0.14 s
+#: serial vs 0.18 s on two workers) and the calibration sweep behind
+#: this constant (~50k cost units ≈ one second of single-core work on
+#: the bench host).  Results never depend on the choice — digests are
+#: worker-invariant — so a miscalibration costs wall-clock only.
+SERIAL_FALLBACK_COST = 50_000.0
+
+
+def effective_workers(workers: int, costs) -> int:
+    """Overhead-aware worker count for a grid with these cell costs.
+
+    Falls back to serial execution when the whole batch is estimated
+    below :data:`SERIAL_FALLBACK_COST` (see above); otherwise returns
+    ``workers`` unchanged.  Pure decision logic: it never changes what
+    a grid computes, only where.
+    """
+    if workers <= 1:
+        return 1
+    if sum(float(c) for c in costs) < SERIAL_FALLBACK_COST:
+        return 1
+    return workers
+
+
 def dispatch_order(costs) -> list[int]:
     """Longest-first execution schedule over per-cell cost estimates.
 
@@ -268,10 +297,13 @@ def _store_root(store) -> "str | None":
 
 
 def run_sweep(points: list[SweepPoint], workers: int = 1, store=None) -> dict:
-    """Execute a grid (serially or on a pool) into one report dict.
+    """Execute a grid (serially or on the shared pool) into one report.
 
     Cells dispatch longest-first and merge in grid order (see the
-    module docstring); ``store`` makes the grid skip-if-cached.
+    module docstring); ``store`` makes the grid skip-if-cached.  Small
+    grids (estimated below :data:`SERIAL_FALLBACK_COST`) run serially
+    regardless of ``workers`` — the report's ``workers_effective``
+    records the choice, and the cells are identical either way.
     """
     if not points:
         raise ValueError("cannot run an empty sweep grid")
@@ -279,20 +311,20 @@ def run_sweep(points: list[SweepPoint], workers: int = 1, store=None) -> dict:
         raise ValueError(f"workers must be >= 1, got {workers}")
     t0 = time.perf_counter()
     root = _store_root(store)
-    order = dispatch_order([estimate_spec_cost(p.to_spec()) for p in points])
+    costs = [estimate_spec_cost(p.to_spec()) for p in points]
+    order = dispatch_order(costs)
     jobs = [(points[i], root) for i in order]
-    n_procs = min(workers, len(points))
+    n_procs = min(effective_workers(workers, costs), len(points))
     if n_procs <= 1:
         done = [_run_point_job(j) for j in jobs]
     else:
-        ctx = multiprocessing.get_context(_START_METHOD)
-        with ctx.Pool(processes=n_procs) as pool:
-            done = pool.map(_run_point_job, jobs)
+        done = get_pool(n_procs).map(_run_point_job, jobs)
     cells = _merge_in_grid_order(order, done)
     return {
         "command": "repro sweep",
         "n_points": len(points),
         "workers": workers,
+        "workers_effective": n_procs,
         "store": root,
         "elapsed_s": round(time.perf_counter() - t0, 3),
         "points": cells,
@@ -355,7 +387,11 @@ def run_specs(specs: list[RunSpec], workers: int = 1, store=None) -> dict:
     cell executes with ``execution.workers=1`` regardless of what the
     base spec says (a cell inside a daemonic pool worker could not
     spawn its own pool anyway, and digests are worker-invariant, so
-    this never changes results).
+    this never changes results).  Grids estimated below
+    :data:`SERIAL_FALLBACK_COST` run serially even when workers were
+    requested (``workers_effective`` in the report records the
+    choice): pool dispatch on a sub-second batch costs more than it
+    saves.
 
     Cells dispatch longest-first (:func:`dispatch_order` over
     :func:`estimate_spec_cost`) and merge back in grid order.  With
@@ -371,20 +407,20 @@ def run_specs(specs: list[RunSpec], workers: int = 1, store=None) -> dict:
     root = _store_root(store)
     jobs = [(s.evolve(**{"execution.workers": 1}).to_dict(), root)
             for s in specs]
-    order = dispatch_order([estimate_spec_cost(s) for s in specs])
+    costs = [estimate_spec_cost(s) for s in specs]
+    order = dispatch_order(costs)
     dispatch = [jobs[i] for i in order]
-    n_procs = min(workers, len(jobs))
+    n_procs = min(effective_workers(workers, costs), len(jobs))
     if n_procs <= 1:
         done = [_run_spec_cell(j) for j in dispatch]
     else:
-        ctx = multiprocessing.get_context(_START_METHOD)
-        with ctx.Pool(processes=n_procs) as pool:
-            done = pool.map(_run_spec_cell, dispatch)
+        done = get_pool(n_procs).map(_run_spec_cell, dispatch)
     cells = _merge_in_grid_order(order, done)
     return {
         "command": "repro sweep --spec",
         "n_points": len(specs),
         "workers": workers,
+        "workers_effective": n_procs,
         "store": root,
         "elapsed_s": round(time.perf_counter() - t0, 3),
         "points": cells,

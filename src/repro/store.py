@@ -54,7 +54,7 @@ __all__ = [
 
 #: Schema version of the serialized record form.  Bump it when the
 #: record shape changes and register a migration in :data:`_MIGRATIONS`.
-RECORD_VERSION = 2
+RECORD_VERSION = 3
 
 
 class StoreError(RuntimeError):
@@ -105,6 +105,12 @@ class RunRecord:
     elapsed_s: float = 0.0
     spec: dict | None = None
     provenance: dict[str, Any] = field(default_factory=dict)
+    #: Unix timestamp of when the record was computed (``None`` for
+    #: records migrated from schemas that predate it).  Wall-clock
+    #: bookkeeping like ``elapsed_s``: age/size-based store eviction
+    #: reads it, but it is excluded from :meth:`pinned_dict` so reports
+    #: and goldens stay byte-stable across recomputation.
+    created_at: float | None = None
     record_version: int = RECORD_VERSION
 
     def __post_init__(self) -> None:
@@ -124,15 +130,27 @@ class RunRecord:
 
         Record content is canonical w.r.t. the spec digest: the spec
         snapshot goes through :func:`canonical_spec_dict` and the
-        ``workers_effective`` marker moves from ``extra`` (where the
-        live result carries it) into ``provenance`` — recomputing a
-        record can then only ever rewrite identical bytes (modulo the
-        non-pinned ``elapsed_s``/``provenance`` fields), regardless of
-        the worker count or prose of the spec that triggered it.
+        execution-dependent ``extra`` markers (``workers_effective``,
+        the DES tier's ``shard_refused``) move into ``provenance`` —
+        recomputing a record can then only ever rewrite identical
+        bytes (modulo the non-pinned ``elapsed_s``/``provenance``
+        fields), regardless of the worker count or prose of the spec
+        that triggered it.
         """
+        import time
+
         from repro._version import __version__
 
         workers = result.spec.execution.workers
+        provenance = {
+            "code_version": __version__,
+            "workers": workers,
+            "workers_effective": int(
+                result.extra.get("workers_effective", workers)
+            ),
+        }
+        if "shard_refused" in result.extra:
+            provenance["shard_refused"] = bool(result.extra["shard_refused"])
         return cls(
             spec_digest=result.spec.spec_digest(),
             name=result.spec.name,
@@ -141,16 +159,11 @@ class RunRecord:
             digest=result.digest,
             summary=dict(result.summary),
             extra={k: v for k, v in result.extra.items()
-                   if k != "workers_effective"},
+                   if k not in ("workers_effective", "shard_refused")},
             elapsed_s=round(float(result.elapsed_s), 3),
             spec=canonical_spec_dict(result.spec),
-            provenance={
-                "code_version": __version__,
-                "workers": workers,
-                "workers_effective": int(
-                    result.extra.get("workers_effective", workers)
-                ),
-            },
+            provenance=provenance,
+            created_at=round(time.time(), 3),
         )
 
     # -- serialization -------------------------------------------------
@@ -168,19 +181,20 @@ class RunRecord:
             "elapsed_s": self.elapsed_s,
             "spec": self.spec,
             "provenance": dict(self.provenance),
+            "created_at": self.created_at,
         }
 
     def pinned_dict(self) -> dict:
         """The deterministic subset of :meth:`to_dict`.
 
-        Drops ``elapsed_s`` and ``provenance`` — the only fields that
-        legitimately differ between two executions of one spec — so
-        reports and golden files built from pinned dicts are
-        byte-identical whether a cell was computed or served from the
-        store.
+        Drops ``elapsed_s``, ``provenance`` and ``created_at`` — the
+        only fields that legitimately differ between two executions of
+        one spec — so reports and golden files built from pinned dicts
+        are byte-identical whether a cell was computed or served from
+        the store.
         """
         out = self.to_dict()
-        del out["elapsed_s"], out["provenance"]
+        del out["elapsed_s"], out["provenance"], out["created_at"]
         return out
 
     @classmethod
@@ -254,9 +268,22 @@ def _migrate_v1(data: dict) -> dict:
     return out
 
 
+def _migrate_v2(data: dict) -> dict:
+    """v2 -> v3: records gain ``created_at``.
+
+    Pre-v3 records carry no timestamp; ``None`` marks them as
+    age-unknown (an eviction policy should treat them as oldest rather
+    than inventing a time).
+    """
+    out = dict(data)
+    out.setdefault("created_at", None)
+    out["record_version"] = 3
+    return out
+
+
 #: per-version upgrade steps; ``from_dict`` chains them until the data
 #: reaches :data:`RECORD_VERSION`.
-_MIGRATIONS: dict[int, Callable[[dict], dict]] = {1: _migrate_v1}
+_MIGRATIONS: dict[int, Callable[[dict], dict]] = {1: _migrate_v1, 2: _migrate_v2}
 
 
 # ----------------------------------------------------------------------

@@ -81,6 +81,8 @@ def tier_records(result: ScenarioResult) -> dict[str, RunRecord]:
     written) and carries the tier's real result digest — what a golden
     file *pins* is decided by :func:`golden_payload`, not here.
     """
+    import time
+
     scenario = result.scenario
     records: dict[str, RunRecord] = {}
     for tier, tr in result.tiers.items():
@@ -97,6 +99,7 @@ def tier_records(result: ScenarioResult) -> dict[str, RunRecord]:
             spec=canonical_spec_dict(spec),
             provenance={"code_version": __version__, "workers": 1,
                         "workers_effective": 1},
+            created_at=round(time.time(), 3),
         )
     return records
 

@@ -49,8 +49,9 @@ from repro.verify.scenarios import (
     make_policy,
 )
 
-__all__ = ["ScenarioResult", "TierResult", "run_des", "run_scalar",
-           "run_scenario", "run_vector"]
+__all__ = ["ScenarioResult", "TierResult", "comparable_task_arrays",
+           "run_des", "run_des_unsharded", "run_scalar", "run_scenario",
+           "run_vector"]
 
 #: tolerated intentional model gap between tiers in ``stats`` mode
 #: (storage congestion pricing, selector mixing): 15% on wallclock
@@ -126,6 +127,37 @@ def _summarize(result: SimulationResult) -> dict[str, float]:
     return result.summary()
 
 
+def comparable_task_arrays(records, cfg):
+    """Per-task ``(wallclock, n_failures, completed)`` from DES records.
+
+    ``records`` are :class:`~repro.cluster.records.TaskRecord`\\ s in the
+    caller's chosen order; ``wallclock`` is the *comparable* form — raw
+    duration minus queue wait, placement, and detection overheads (the
+    module docstring's formula).  This is the single definition both
+    the unsharded runner and :mod:`repro.des.sharding` use, so the
+    sharded-vs-unsharded equivalence can never drift from a one-sided
+    edit.
+    """
+    n = len(records)
+    wall = np.empty(n)
+    fails = np.empty(n, dtype=np.int64)
+    completed = np.empty(n, dtype=bool)
+    for i, rec in enumerate(records):
+        fails[i] = rec.n_failures
+        completed[i] = rec.completed
+        if rec.finish_time is None:
+            wall[i] = np.nan
+            continue
+        raw = rec.finish_time - rec.submit_time
+        wall[i] = (
+            raw
+            - rec.queue_wait
+            - cfg.placement_overhead * (1 + rec.n_failures)
+            - cfg.failure_detection_delay * rec.n_failures
+        )
+    return wall, fails, completed
+
+
 def run_scalar(workload: Workload) -> TierResult:
     """Tier A: the scalar reference, injectors seeded like the DES."""
     n = workload.n_tasks
@@ -195,8 +227,28 @@ def run_vector(workload: Workload, workers: int = 1) -> TierResult:
     )
 
 
-def run_des(workload: Workload) -> TierResult:
-    """Tier C: the discrete-event cluster simulation."""
+def run_des(workload: Workload, workers: int = 1) -> TierResult:
+    """Tier C: the discrete-event cluster simulation.
+
+    Contention-free workloads (local checkpoint storage, no host-crash
+    monitors) execute through :func:`repro.des.sharding.run_des_sharded`
+    — decomposed by host group, fanned out over ``workers`` processes.
+    The shard plan is a pure function of the workload, so the result
+    (digest, summary, and aggregated ``extra``) is identical for every
+    ``workers`` value; ``tests/test_des_sharding.py`` pins the per-task
+    equivalence against :func:`run_des_unsharded`.  Workloads with
+    shared storage or host crashes keep the single event loop — their
+    physics cannot decompose.
+    """
+    from repro.des.sharding import run_des_sharded, shard_refusal_reason
+
+    if shard_refusal_reason(workload.cluster) is None:
+        return run_des_sharded(workload, workers=workers)
+    return run_des_unsharded(workload)
+
+
+def run_des_unsharded(workload: Workload) -> TierResult:
+    """The single-event-loop DES run (reference for shard equivalence)."""
     platform = CloudPlatform(
         config=workload.cluster,
         catalog=workload.catalog,
@@ -215,23 +267,7 @@ def run_des(workload: Workload) -> TierResult:
             f"DES returned {len(records)} task records for "
             f"{workload.n_tasks} tasks"
         )
-    n = len(records)
-    wall = np.empty(n)
-    fails = np.empty(n, dtype=np.int64)
-    completed = np.empty(n, dtype=bool)
-    for i, rec in enumerate(records):
-        fails[i] = rec.n_failures
-        completed[i] = rec.completed
-        if rec.finish_time is None:
-            wall[i] = np.nan
-            continue
-        raw = rec.finish_time - rec.submit_time
-        wall[i] = (
-            raw
-            - rec.queue_wait
-            - cfg.placement_overhead * (1 + rec.n_failures)
-            - cfg.failure_detection_delay * rec.n_failures
-        )
+    wall, fails, completed = comparable_task_arrays(records, cfg)
     result = SimulationResult(
         te=workload.te.copy(),
         wallclock=wall,
@@ -323,7 +359,7 @@ def run_scenario(
     workload = build_workload(spec, base_seed)
     scalar = run_scalar(workload)
     vector = run_vector(workload, workers=workers)
-    des = run_des(workload)
+    des = run_des(workload, workers=workers)
     checks = _cross_tier_checks(spec, scalar, vector, des)
     return ScenarioResult(
         scenario=spec,

@@ -340,30 +340,51 @@ class TestWorkersEffective:
         res = api.run(api.scenario_spec("short-tasks"))
         assert res.extra["workers_effective"] == 1.0
 
-    def test_des_workers_warn_once_and_record_one(self, monkeypatch):
-        # The satellite contract: a single documented warning per
-        # process, workers_effective=1 recorded instead of a silent
-        # ignore.
-        monkeypatch.setattr(api, "_DES_WORKERS_WARNED", False)
+    def test_des_shardable_honors_workers(self, monkeypatch):
+        # Contention-free DES specs shard by host group: no warning,
+        # real workers_effective, worker-invariant results.
+        monkeypatch.setattr(api, "_DES_REFUSAL_WARNED", False)
         spec = api.scenario_spec("policy-no-checkpoint", tier="des",
-                                 workers=4)
-        with pytest.warns(UserWarning, match="workers_effective=1"):
+                                 workers=2)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            res = api.run(spec)
+        assert not [w for w in caught if issubclass(w.category, UserWarning)]
+        assert res.extra["workers_effective"] == 2.0
+        assert res.extra["n_shards"] >= 2.0
+        assert "shard_refused" not in res.extra
+        serial = api.run(spec.evolve(**{"execution.workers": 1}))
+        assert serial.digest == res.digest
+        assert serial.summary == res.summary
+        # extra is worker-invariant apart from the effective marker
+        drop = lambda d: {k: v for k, v in d.items()
+                          if k != "workers_effective"}
+        assert drop(serial.extra) == drop(res.extra)
+
+    def test_des_shared_storage_refuses_and_warns_once(self, monkeypatch):
+        # Shared-storage DES runs cannot shard: one documented warning
+        # per process, workers_effective=1 and shard_refused recorded.
+        monkeypatch.setattr(api, "_DES_REFUSAL_WARNED", False)
+        spec = api.scenario_spec("storage-dmnfs", tier="des", workers=4)
+        with pytest.warns(UserWarning, match="refuses to shard"):
             first = api.run(spec)
         assert first.extra["workers_effective"] == 1.0
+        assert first.extra["shard_refused"] == 1.0
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             second = api.run(spec)
         assert not [w for w in caught
                     if issubclass(w.category, UserWarning)
                     and "des" in str(w.message)]
-        assert second.extra["workers_effective"] == 1.0
+        assert second.extra["shard_refused"] == 1.0
         # workers stays out of the digest: same record either way
-        assert first.digest == api.run(
-            spec.evolve(**{"execution.workers": 1})).digest
+        serial = api.run(spec.evolve(**{"execution.workers": 1}))
+        assert first.digest == serial.digest
+        assert "shard_refused" not in serial.extra
 
     def test_des_without_workers_does_not_warn(self, monkeypatch):
-        monkeypatch.setattr(api, "_DES_WORKERS_WARNED", False)
+        monkeypatch.setattr(api, "_DES_REFUSAL_WARNED", False)
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
-            api.run(api.scenario_spec("policy-no-checkpoint", tier="des"))
+            api.run(api.scenario_spec("storage-dmnfs", tier="des"))
         assert not [w for w in caught if issubclass(w.category, UserWarning)]

@@ -45,6 +45,79 @@ def batch():
     return te, x, c, r
 
 
+class TestAutoChunkSize:
+    def test_catalog_batches_keep_the_default(self):
+        from repro.parallel.runner import AUTO_LAW_HEAVY, auto_chunk_size
+
+        assert auto_chunk_size(500_000, 2) == DEFAULT_CHUNK_SIZE
+        assert auto_chunk_size(500_000, AUTO_LAW_HEAVY) == DEFAULT_CHUNK_SIZE
+
+    def test_law_heavy_batches_cap_the_chunk_count(self):
+        from repro.parallel.runner import AUTO_MIN_CHUNKS, auto_chunk_size
+
+        cs = auto_chunk_size(1_000_000, 1_000_000)
+        assert cs == -(-1_000_000 // AUTO_MIN_CHUNKS)
+        assert len(plan_chunks(1_000_000, cs)) <= AUTO_MIN_CHUNKS
+        # small batches never shrink below the default
+        assert auto_chunk_size(10_000, 10_000) == DEFAULT_CHUNK_SIZE
+
+    def test_auto_is_a_pure_function_not_worker_aware(self, batch):
+        # chunk_size=None must resolve identically no matter the worker
+        # count: same plan, same digest.
+        te, x, c, r = batch
+        dists = {0: Exponential(1 / 300.0)}
+        ids = np.zeros(te.size, dtype=np.int64)
+        digests = {
+            simulate_tasks_sharded(
+                te, x, c, r, ids, dists, seed=5, workers=w
+            ).digest()
+            for w in WORKER_COUNTS
+        }
+        assert len(digests) == 1
+
+
+class TestOverheadAwareDispatch:
+    def test_small_grids_fall_back_to_serial(self):
+        from repro.parallel.sweep import (
+            SERIAL_FALLBACK_COST,
+            effective_workers,
+        )
+
+        small = [SERIAL_FALLBACK_COST / 10] * 4
+        big = [SERIAL_FALLBACK_COST] * 4
+        assert effective_workers(4, small) == 1
+        assert effective_workers(4, big) == 4
+        assert effective_workers(1, big) == 1
+
+    def test_run_sweep_records_effective_workers(self):
+        points = build_grid(["optimal"], ["local"], [40], [0])
+        report = run_sweep(points, workers=2)
+        assert report["workers"] == 2
+        assert report["workers_effective"] == 1  # tiny grid -> serial
+
+
+class TestPersistentPool:
+    def test_pool_is_reused_and_grows(self):
+        from repro.parallel import runner
+
+        runner.shutdown_pool()
+        try:
+            p2 = runner.get_pool(2)
+            assert runner.get_pool(2) is p2
+            assert runner.get_pool(1) is p2  # smaller requests share it
+            p3 = runner.get_pool(3)
+            assert p3 is not p2  # grew: new pool
+            assert runner.get_pool(2) is p3
+        finally:
+            runner.shutdown_pool()
+
+    def test_shutdown_is_idempotent(self):
+        from repro.parallel import runner
+
+        runner.shutdown_pool()
+        runner.shutdown_pool()
+
+
 class TestChunkPlanning:
     def test_covers_all_tasks_in_order(self):
         slices = plan_chunks(10_000, 1024)

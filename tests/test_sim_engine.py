@@ -169,10 +169,20 @@ class TestProcesses:
         env = Environment()
 
         def bad():
-            yield 42
+            yield "not an event"
 
         env.process(bad())
         # Nobody waits on the failed process, so the error surfaces at run.
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_yield_bool_errors(self):
+        env = Environment()
+
+        def bad():
+            yield True  # bools are not delays
+
+        env.process(bad())
         with pytest.raises(SimulationError):
             env.run()
 
@@ -256,6 +266,191 @@ class TestProcesses:
         env.process(proc())
         env.run()
         assert seen == ["x"]
+
+
+class TestRawWaits:
+    """The allocation-free ``yield <delay>`` path must behave exactly
+    like ``yield env.timeout(delay)``."""
+
+    def test_raw_wait_advances_clock(self):
+        env = Environment()
+        at = []
+
+        def proc():
+            yield 2.0
+            at.append(env.now)
+            yield 3
+            at.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert at == [2.0, 5.0]
+
+    def test_raw_wait_resumes_with_none(self):
+        env = Environment()
+        got = []
+
+        def proc():
+            got.append((yield 1.0))
+
+        env.process(proc())
+        env.run()
+        assert got == [None]
+
+    def test_raw_wait_numpy_scalar(self):
+        np = pytest.importorskip("numpy")
+        env = Environment()
+        at = []
+
+        def proc():
+            yield np.float64(1.5)
+            at.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert at == [1.5]
+
+    def test_raw_wait_negative_rejected(self):
+        env = Environment()
+
+        def proc():
+            yield -1.0
+
+        env.process(proc())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_raw_wait_interleaves_like_timeouts(self):
+        """Mixed raw and Timeout waits at equal timestamps keep the
+        creation-order FIFO tie-break."""
+        env = Environment()
+        order = []
+
+        def raw(tag):
+            yield 1.0
+            order.append(tag)
+
+        def wrapped(tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        env.process(raw("a"))
+        env.process(wrapped("b"))
+        env.process(raw("c"))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_interrupt_during_raw_wait(self):
+        env = Environment()
+        causes = []
+
+        def victim():
+            try:
+                yield 10.0
+            except Interrupt as i:
+                causes.append((i.cause, env.now))
+
+        def attacker(v):
+            yield 1.0
+            v.interrupt("raw-kill")
+
+        v = env.process(victim())
+        env.process(attacker(v))
+        env.run()
+        assert causes == [("raw-kill", 1.0)]
+        # The stale wake drains at t=10 like a cancelled Timeout.
+        assert env.now == 10.0
+
+    def test_raw_wait_rearm_after_interrupt(self):
+        """A process interrupted mid-raw-wait can arm fresh raw waits;
+        the stale wake must not fire it early."""
+        env = Environment()
+        at = []
+
+        def victim():
+            try:
+                yield 10.0
+            except Interrupt:
+                pass
+            yield 5.0  # fresh wait armed at t=1, fires at t=6
+            at.append(env.now)
+
+        def attacker(v):
+            yield 1.0
+            v.interrupt()
+
+        v = env.process(victim())
+        env.process(attacker(v))
+        env.run()
+        assert at == [6.0]
+
+    def test_raw_wakes_count_as_processed_events(self):
+        env = Environment()
+
+        def proc():
+            yield 1.0
+
+        env.process(proc())
+        env.run()
+        # bootstrap wake + timeout wake + process-completion event
+        assert env.events_processed == 3
+
+    def test_step_handles_raw_wakes(self):
+        env = Environment()
+        at = []
+
+        def proc():
+            yield 1.0
+            at.append(env.now)
+
+        env.process(proc())
+        env.step()  # bootstrap
+        env.step()  # the raw wake
+        assert at == [1.0]
+
+
+class TestTimeoutBatch:
+    def test_batch_matches_sequential_order(self):
+        delays = [3.0, 1.0, 2.0, 1.0]
+        fired_loop, fired_batch = [], []
+
+        env1 = Environment()
+        for i, d in enumerate(delays):
+            ev = env1.timeout(d)
+            ev.callbacks.append(lambda e, i=i: fired_loop.append(i))
+        env1.run()
+
+        env2 = Environment()
+        for i, ev in enumerate(env2.timeout_batch(delays)):
+            ev.callbacks.append(lambda e, i=i: fired_batch.append(i))
+        env2.run()
+
+        assert fired_batch == fired_loop == [1, 3, 2, 0]
+
+    def test_batch_on_nonempty_queue(self):
+        env = Environment()
+        env.timeout(5.0)
+        evs = env.timeout_batch([1.0, 2.0])
+        env.run()
+        assert env.now == 5.0
+        assert all(ev.processed for ev in evs)
+
+    def test_batch_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout_batch([1.0, -2.0])
+
+    def test_batch_value_and_yieldability(self):
+        env = Environment()
+        got = []
+
+        def proc(evs):
+            for ev in evs:
+                got.append((yield ev))
+
+        env.process(proc(env.timeout_batch([1.0, 2.0], value="v")))
+        env.run()
+        assert got == ["v", "v"]
 
 
 class TestConditions:

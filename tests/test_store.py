@@ -100,6 +100,32 @@ class TestRunRecord:
         assert record.name == "legacy"
         assert record.provenance["migrated_from"] == 1
 
+    def test_v2_migrates_to_v3_with_unknown_age(self):
+        # Version 2 predates created_at: the upgrade marks the record
+        # age-unknown instead of inventing a timestamp.
+        v2 = make_record().to_dict()
+        del v2["created_at"]
+        v2["record_version"] = 2
+        record = RunRecord.from_dict(v2)
+        assert record.record_version == RECORD_VERSION
+        assert record.created_at is None
+
+    def test_from_result_stamps_created_at(self):
+        import time
+
+        from repro import api
+
+        before = time.time() - 1.0
+        record = RunRecord.from_result(api.run(api.scenario_spec("short-tasks")))
+        assert record.created_at is not None
+        assert before <= record.created_at <= time.time() + 1.0
+
+    def test_created_at_stays_out_of_pinned_dict(self):
+        record = make_record(created_at=123.456)
+        assert "created_at" in record.to_dict()
+        assert "created_at" not in record.pinned_dict()
+        assert record.pinned_dict() == make_record(created_at=None).pinned_dict()
+
     def test_newer_version_is_refused(self):
         data = make_record().to_dict()
         data["record_version"] = RECORD_VERSION + 1
